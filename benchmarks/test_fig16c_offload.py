@@ -1,0 +1,47 @@
+"""Fig. 16(c) — share of run time on AQUOMAN and x86 CPU-cycle saving.
+
+Regenerates the per-query offload fraction (L-AQUOMAN) and the CPU
+cycles AQUOMAN frees relative to the L baseline.  Shape requirements:
+
+- ~14 queries run (nearly) entirely on the device;
+- q9/q13/q22 run ~0% on the device;
+- the mean CPU saving lands in the paper's reported regime (~70%;
+  we accept 60-90% given the calibration substitution).
+"""
+
+import pytest
+
+from conftest import print_table
+
+
+def test_fig16c_offload(benchmark, evaluation):
+    report = benchmark(lambda: evaluation.report(1000.0))
+
+    rows = []
+    for q in report.queries:
+        rows.append(
+            [
+                q,
+                f"{100 * report.device_fraction(q):.0f}%",
+                f"{100 * report.cpu_saving(q):.0f}%",
+            ]
+        )
+    rows.append(
+        ["mean", "-", f"{100 * report.mean_cpu_saving():.0f}%"]
+    )
+    print_table(
+        "Fig 16(c): device run-time share and CPU-cycle saving (L)",
+        ["query", "time on AQUOMAN", "CPU saving"],
+        rows,
+    )
+
+    fully = [
+        q for q in report.queries if report.device_fraction(q) > 0.9
+    ]
+    assert 12 <= len(fully) <= 17  # paper: 14 of 22
+
+    for q in ("q09", "q13", "q22"):
+        assert report.device_fraction(q) < 0.1
+        assert report.cpu_saving(q) < 0.1
+
+    assert 0.60 <= report.mean_cpu_saving() <= 0.90

@@ -1,0 +1,38 @@
+"""Sec. VIII headline claims, all three in one regenerable check.
+
+1. One AQUOMAN disk frees ~70% of host CPU cycles (we assert >=60%).
+2. Average host DRAM usage drops ~60% (we assert >=50%).
+3. A 4-core/16 GB host with an AQUOMAN16 SSD matches a 32-core/128 GB
+   host with plain SSDs when queries run sequentially (within 15%).
+"""
+
+import pytest
+
+from conftest import print_table
+
+
+def test_headline_claims(benchmark, evaluation):
+    report = benchmark(lambda: evaluation.report(1000.0))
+
+    cpu_saving = report.mean_cpu_saving()
+    dram_saving = report.mean_dram_saving()
+    ratio = report.total_runtime("S-AQUOMAN16") / report.total_runtime("L")
+
+    print_table(
+        "Headline claims (paper -> measured)",
+        ["claim", "paper", "measured"],
+        [
+            ["CPU cycles freed", "70%", f"{100 * cpu_saving:.0f}%"],
+            ["avg DRAM saved", "60%", f"{100 * dram_saving:.0f}%"],
+            ["S-AQUOMAN16 / L total", "~1.0", f"{ratio:.2f}"],
+            [
+                "L / L-AQUOMAN total",
+                "1.5-2x",
+                f"{report.total_runtime('L') / report.total_runtime('L-AQUOMAN'):.2f}x",
+            ],
+        ],
+    )
+
+    assert cpu_saving >= 0.60
+    assert dram_saving >= 0.50
+    assert ratio == pytest.approx(1.0, abs=0.15)

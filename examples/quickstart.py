@@ -1,0 +1,44 @@
+"""Quickstart: generate TPC-H, run a query both ways, compare.
+
+Generates a small TPC-H catalog, runs Q6 on the software baseline (the
+MonetDB stand-in) and through the AQUOMAN simulator, verifies the
+results are identical, and prints what the device did.
+
+    python examples/quickstart.py
+"""
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.engine import Engine
+from repro.util.units import GB, fmt_bytes
+
+
+def main() -> None:
+    print("Generating TPC-H at SF 0.01 (~60k lineitems)...")
+    db = tpch.generate(scale_factor=0.01)
+    print(f"  tables: {db.table_names()}")
+    print(f"  on-flash size: {fmt_bytes(db.nbytes)}")
+
+    plan = tpch.query(6)
+    print("\nQ6 (forecasting revenue change) on the software baseline:")
+    baseline = Engine(db).execute(plan)
+    print(baseline.head())
+
+    print("\nSame query through the AQUOMAN simulator:")
+    # scale_ratio tells the device model to make capacity decisions as
+    # if the data were SF-1000 on a real 1 TB drive.
+    config = DeviceConfig(dram_bytes=40 * GB, scale_ratio=1000 / 0.01)
+    result = AquomanSimulator(db, config).run(tpch.query(6), query="q06")
+    print(result.table.head())
+
+    assert baseline.equals(result.table.renamed("result"))
+    print("\nResults are bit-identical. Device activity:")
+    trace = result.trace
+    print(f"  flash streamed : {fmt_bytes(trace.aquoman_flash_bytes)}")
+    print(f"  rows on device : {trace.offload_fraction_rows:.0%}")
+    print(f"  output DMA     : {fmt_bytes(trace.aquoman_output_bytes)}")
+    print(f"  suspended      : {trace.suspended}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Run plain SQL against the engine and the AQUOMAN simulator.
+
+The SQL front-end parses the analytic subset the device targets and
+plans it the way the paper's DBMS layer would (filter pushdown,
+equi-join ordering, aggregate placement); the resulting plans flow
+through the same offload compiler as the hand-built TPC-H plans.
+
+    python examples/sql_queries.py
+"""
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.engine import Engine
+from repro.sqlir import plan_sql
+from repro.util.units import GB
+
+QUERIES = {
+    "revenue by ship mode": """
+        SELECT l_shipmode, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               count(*) AS n
+        FROM lineitem
+        WHERE l_shipdate >= date '1995-01-01'
+          AND l_shipdate < date '1996-01-01'
+        GROUP BY l_shipmode
+        ORDER BY revenue DESC
+    """,
+    "big urgent orders": """
+        SELECT o_orderkey, o_totalprice
+        FROM orders
+        WHERE o_orderpriority = '1-URGENT' AND o_totalprice > 400000
+        ORDER BY o_totalprice DESC
+        LIMIT 5
+    """,
+    "nation revenue (3-way join)": """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, supplier, nation
+        WHERE l_suppkey = s_suppkey
+          AND s_nationkey = n_nationkey
+          AND l_shipdate >= date '1997-01-01'
+        GROUP BY n_name
+        ORDER BY revenue DESC
+        LIMIT 5
+    """,
+    "promo share inputs": """
+        SELECT sum(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE 0.00 END) AS promo,
+               sum(l_extendedprice * (1 - l_discount)) AS total
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= date '1995-09-01'
+          AND l_shipdate < date '1995-10-01'
+    """,
+}
+
+
+def main() -> None:
+    print("Generating TPC-H at SF 0.01...")
+    db = tpch.generate(0.01)
+    config = DeviceConfig(dram_bytes=40 * GB, scale_ratio=1000 / 0.01)
+
+    for title, sql in QUERIES.items():
+        print(f"\n=== {title} ===")
+        plan = plan_sql(sql, db)
+
+        baseline = Engine(db).execute(plan)
+        result = AquomanSimulator(db, config).run(
+            plan_sql(sql, db), query=title
+        )
+        assert baseline.equals(result.table.renamed("result"))
+
+        print(baseline.head(6))
+        trace = result.trace
+        print(
+            f"-> device: {trace.offload_fraction_rows:.0%} of rows, "
+            f"{trace.aquoman_flash_bytes >> 10} KiB streamed"
+            + (f", suspended: {trace.suspend_reason}"
+               if trace.suspended else "")
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Reproduce the paper's evaluation (Fig. 16) end to end.
+
+Runs all 22 TPC-H queries through the baseline engine and the AQUOMAN
+simulator, scales the traces to SF-1000, times the five system
+configurations and prints the paper's figures as tables — the same
+pipeline the benchmark suite asserts on.
+
+    python examples/tpch_evaluation.py [scale_factor]
+"""
+
+import sys
+
+from repro import tpch
+from repro.perf.tpch_eval import collect_traces
+from repro.util.units import GB
+
+
+def main() -> None:
+    data_sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"Generating TPC-H at SF {data_sf}...")
+    db = tpch.generate(data_sf)
+
+    print("Running 22 queries x {baseline, AQUOMAN-40GB, AQUOMAN-16GB}...")
+    evaluation = collect_traces(db, target_sf=1000.0)
+    report = evaluation.report(1000.0)
+
+    print("\nFig 16(a): run time (seconds) at SF-1000")
+    header = f"{'query':>6} {'S':>7} {'L':>7} {'S-AQ':>7} {'L-AQ':>7} {'S-AQ16':>7} {'L-speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for q in report.queries:
+        r = {s: report.timing(q, s).runtime_s for s in report.systems}
+        print(
+            f"{q:>6} {r['S']:7.0f} {r['L']:7.0f} {r['S-AQUOMAN']:7.0f} "
+            f"{r['L-AQUOMAN']:7.0f} {r['S-AQUOMAN16']:7.0f} "
+            f"{r['L'] / r['L-AQUOMAN']:8.1f}x"
+        )
+    totals = {s: report.total_runtime(s) for s in report.systems}
+    print(
+        f"{'total':>6} {totals['S']:7.0f} {totals['L']:7.0f} "
+        f"{totals['S-AQUOMAN']:7.0f} {totals['L-AQUOMAN']:7.0f} "
+        f"{totals['S-AQUOMAN16']:7.0f}"
+    )
+
+    print("\nFig 16(b): memory (GB) at SF-1000")
+    print(f"{'query':>6} {'L max':>7} {'L-AQ max':>9} {'AQ DRAM':>8}")
+    for q in report.queries:
+        base = report.timing(q, "L")
+        aug = report.timing(q, "L-AQUOMAN")
+        print(
+            f"{q:>6} {base.host_peak_bytes / GB:7.0f} "
+            f"{aug.host_peak_bytes / GB:9.0f} "
+            f"{aug.device_peak_bytes / GB:8.1f}"
+        )
+
+    print("\nFig 16(c): offload share and CPU saving (system L)")
+    for q in report.queries:
+        print(
+            f"{q:>6} time-on-device={report.device_fraction(q):5.0%} "
+            f"cpu-saving={report.cpu_saving(q):5.0%}"
+        )
+
+    print("\nHeadline claims:")
+    print(f"  mean CPU cycles freed : {report.mean_cpu_saving():.0%}  (paper: 70%)")
+    print(f"  mean DRAM saved       : {report.mean_dram_saving():.0%}  (paper: 60%)")
+    ratio = totals["S-AQUOMAN16"] / totals["L"]
+    print(f"  S-AQUOMAN16 vs L      : {ratio:.2f}x (paper: ~1.0x)")
+
+
+if __name__ == "__main__":
+    main()

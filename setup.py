@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the PEP 660 wheel path.
+"""
+
+from setuptools import setup
+
+setup()

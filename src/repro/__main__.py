@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``query``    — run a TPC-H query (by number) or a SQL string, on the
+  baseline engine and/or the AQUOMAN simulator;
+- ``evaluate`` — the full Fig. 16 evaluation (all 22 queries, five
+  system configurations, SF-1000 scaling);
+- ``explain``  — per-node offload decisions for one query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.core.compiler import QueryCompiler
+from repro.engine import Engine
+from repro.sqlir import plan_sql
+from repro.util.units import GB, fmt_bytes
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sf", type=float, default=0.01,
+        help="functional TPC-H scale factor (default 0.01)",
+    )
+    parser.add_argument(
+        "--target-sf", type=float, default=1000.0,
+        help="simulated scale factor for device decisions (default 1000)",
+    )
+
+
+def _plan_of(args, db):
+    if args.sql is not None:
+        return plan_sql(args.sql, db)
+    if args.number is None:
+        raise SystemExit("give a TPC-H query number or --sql")
+    return tpch.query(args.number)
+
+
+def cmd_query(args) -> int:
+    db = tpch.generate(args.sf)
+    plan = _plan_of(args, db)
+    name = args.sql or f"q{args.number:02d}"
+
+    table = Engine(db).execute(plan)
+    print(table.head(args.rows))
+    print(f"({table.nrows} rows)")
+
+    if not args.no_device:
+        config = DeviceConfig(
+            dram_bytes=int(args.dram_gb * GB),
+            scale_ratio=args.target_sf / args.sf,
+        )
+        result = AquomanSimulator(db, config).run(_plan_of(args, db),
+                                                  query=name)
+        trace = result.trace
+        match = table.equals(result.table.renamed("result"))
+        print(
+            f"AQUOMAN: match={match} "
+            f"rows-on-device={trace.offload_fraction_rows:.0%} "
+            f"flash={fmt_bytes(trace.aquoman_flash_bytes)} "
+            f"suspended={trace.suspend_reason or 'no'}"
+        )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.perf.tpch_eval import collect_traces
+
+    db = tpch.generate(args.sf)
+    evaluation = collect_traces(db, target_sf=args.target_sf)
+    report = evaluation.report(args.target_sf)
+
+    print(f"{'query':>6} " + " ".join(f"{s:>10}" for s in report.systems))
+    for q in report.queries:
+        cells = " ".join(
+            f"{report.timing(q, s).runtime_s:10.0f}" for s in report.systems
+        )
+        print(f"{q:>6} {cells}")
+    totals = " ".join(
+        f"{report.total_runtime(s):10.0f}" for s in report.systems
+    )
+    print(f"{'total':>6} {totals}")
+    print(f"mean CPU saving : {report.mean_cpu_saving():.0%}")
+    print(f"mean DRAM saving: {report.mean_dram_saving():.0%}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.storage.io import save_catalog
+
+    db = tpch.generate(args.sf)
+    manifest = save_catalog(db, args.directory)
+    print(f"wrote {fmt_bytes(db.nbytes)} of column files")
+    print(f"manifest: {manifest}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    db = tpch.generate(args.sf)
+    plan = _plan_of(args, db)
+    compiler = QueryCompiler(db, scale_ratio=args.target_sf / args.sf)
+    compiled = compiler.compile(plan)
+    for node in plan.walk():
+        decision = compiled.decision(node)
+        marker = "DEVICE" if decision.offloadable else "host  "
+        note = f"  <- {decision.reason.value}" if not decision.offloadable \
+            else ""
+        print(f"[{marker}] {node!r}{note}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AQUOMAN reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_query = sub.add_parser("query", help="run one query both ways")
+    p_query.add_argument("number", type=int, nargs="?",
+                         help="TPC-H query number (1-22)")
+    p_query.add_argument("--sql", help="a SQL string instead")
+    p_query.add_argument("--rows", type=int, default=10)
+    p_query.add_argument("--dram-gb", type=float, default=40.0)
+    p_query.add_argument("--no-device", action="store_true")
+    _add_common(p_query)
+    p_query.set_defaults(func=cmd_query)
+
+    p_eval = sub.add_parser("evaluate", help="the Fig. 16 evaluation")
+    _add_common(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_generate = sub.add_parser(
+        "generate", help="write a TPC-H catalog as column files"
+    )
+    p_generate.add_argument("directory")
+    _add_common(p_generate)
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_explain = sub.add_parser("explain", help="offload decisions")
+    p_explain.add_argument("number", type=int, nargs="?")
+    p_explain.add_argument("--sql")
+    _add_common(p_explain)
+    p_explain.set_defaults(func=cmd_explain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

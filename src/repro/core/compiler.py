@@ -1,0 +1,592 @@
+"""Query compiler: offload analysis and suspension rules (Sec. VI-E).
+
+Walks a logical plan bottom-up deciding, per node, whether the device
+pipeline can execute it, and why not when it can't:
+
+1. **mid-plan Aggregate-GroupBy** — an aggregate whose consumers are
+   not just Sort/Limit/Project breaks the streaming references to base
+   tables; the device can still stream and pre-hash the child (the
+   "device-assisted" mode that makes Q17/Q18 partial offloads
+   profitable), but the accumulate and everything above run on host;
+2. **string heap too large** — LIKE / string-equality / SUBSTRING on a
+   column whose heap (at the simulated SF) exceeds the 1 MB regex
+   cache (Q9, Q13, Q16, Q20's p_name/o_comment/s_comment filters);
+3. **group spill** — more groups than the 1024-bucket hash; detected
+   at execution, the spilled accumulate ships to the host;
+4. **DRAM exceeded** — join intermediates over device capacity;
+   detected at execution, the subtree re-runs on the host.
+
+The compiler also emits the Table Task chain for the offloaded parts
+(the paper's programming model, Fig. 5), which the examples show and
+the tests execute directly on the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.regex_accel import REGEX_CACHE_BYTES
+from repro.core.row_selector import (
+    PredicateProgram,
+    extract_predicate_program,
+)
+from repro.core.tabletask import SwissknifeOp, TableTask, TaskOutput
+from repro.sqlir.expr import (
+    AggFunc,
+    Arith,
+    ArithOp,
+    BoolExpr,
+    CaseWhen,
+    ColumnRef,
+    Compare,
+    CompareOp,
+    Expr,
+    ExtractYear,
+    InList,
+    Kind,
+    Like,
+    Literal,
+    ScalarSubquery,
+    Substring,
+)
+from repro.sqlir.plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinKind,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.types import TypeKind
+
+
+class SuspendReason(Enum):
+    NONE = "none"
+    MID_PLAN_GROUPBY = "mid-plan aggregate group-by"
+    STRING_HEAP = "string heap exceeds regex cache"
+    UNSUPPORTED_EXPR = "expression has no device lowering"
+    UNSUPPORTED_OP = "operator not offloadable"
+    GROUP_SPILL = "aggregate groups exceed hash buckets"
+    DRAM_EXCEEDED = "device DRAM exceeded"
+
+
+REAL_SUSPENSIONS = frozenset(
+    {
+        SuspendReason.MID_PLAN_GROUPBY,
+        SuspendReason.STRING_HEAP,
+        SuspendReason.GROUP_SPILL,
+        SuspendReason.DRAM_EXCEEDED,
+    }
+)
+
+
+@dataclass
+class OffloadDecision:
+    """Per-node verdict of the offload analysis."""
+
+    offloadable: bool
+    reason: SuspendReason = SuspendReason.NONE
+    note: str = ""
+    device_assisted: bool = False  # host aggregate fed by a device stream
+    # Stream this subtree through the device even if it performs no
+    # reduction itself — its parent is a device-assisted aggregate that
+    # consumes the pre-hashed stream (the Q17/Q18 mode).
+    stream_for_assist: bool = False
+
+    def __repr__(self) -> str:
+        flag = "device" if self.offloadable else f"host ({self.reason.value})"
+        return f"OffloadDecision({flag}{', ' + self.note if self.note else ''})"
+
+
+@dataclass
+class CompiledQuery:
+    """Analysis results for one plan (including scalar subqueries)."""
+
+    plan: Plan
+    decisions: dict[int, OffloadDecision]
+    subqueries: list["CompiledQuery"] = field(default_factory=list)
+
+    def decision(self, node: Plan) -> OffloadDecision:
+        return self.decisions[id(node)]
+
+    def offload_roots(self) -> list[Plan]:
+        """Maximal offloadable subtrees, outermost first."""
+        roots: list[Plan] = []
+
+        def walk(node: Plan, parent_offloaded: bool) -> None:
+            mine = self.decisions[id(node)].offloadable
+            if mine and not parent_offloaded:
+                roots.append(node)
+            for child in node.children():
+                walk(child, mine or parent_offloaded)
+
+        walk(self.plan, False)
+        return roots
+
+    def suspend_reasons(self) -> set[SuspendReason]:
+        reasons = {
+            d.reason
+            for d in self.decisions.values()
+            if d.reason is not SuspendReason.NONE
+        }
+        for sub in self.subqueries:
+            reasons |= sub.suspend_reasons()
+        return reasons
+
+    def fully_offloadable(self) -> bool:
+        """True when only Sort/Limit/Project finalisation stays host-side."""
+        def node_ok(node: Plan) -> bool:
+            if self.decisions[id(node)].offloadable:
+                return True
+            if isinstance(node, (Sort, Limit)):
+                return all(node_ok(c) for c in node.children())
+            if isinstance(node, Project):
+                return all(node_ok(c) for c in node.children())
+            return False
+
+        return node_ok(self.plan) and all(
+            sub.fully_offloadable() for sub in self.subqueries
+        )
+
+
+class QueryCompiler:
+    """Offload analysis against a catalog and a device configuration."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        scale_ratio: float = 1.0,
+        regex_cache_bytes: int = REGEX_CACHE_BYTES,
+    ):
+        self.catalog = catalog
+        self.scale_ratio = scale_ratio
+        self.regex_cache_bytes = regex_cache_bytes
+
+    # -- public ------------------------------------------------------------
+
+    def compile(self, plan: Plan) -> CompiledQuery:
+        decisions: dict[int, OffloadDecision] = {}
+        subqueries: list[CompiledQuery] = []
+        tail = self._tail_nodes(plan)
+        self._provenance_memo: dict[int, dict[str, tuple[str, str]]] = {}
+
+        def analyze(node: Plan) -> OffloadDecision:
+            for child in node.children():
+                analyze(child)
+            decision = self._decide(node, decisions, tail, subqueries)
+            decisions[id(node)] = decision
+            return decision
+
+        analyze(plan)
+        return CompiledQuery(plan, decisions, subqueries)
+
+    def _provenance(self, node: Plan) -> dict[str, tuple[str, str]]:
+        """Output column -> (base table, base column), through renames.
+
+        Lets the heap-size rule see through projection aliases (Q7/Q8
+        bind nation names to ``supp_nation``/``cust_nation``).
+        """
+        memo = self._provenance_memo.get(id(node))
+        if memo is not None:
+            return memo
+        prov: dict[str, tuple[str, str]] = {}
+        if isinstance(node, Scan):
+            table = self.catalog.table(node.table)
+            names = node.columns or tuple(table.column_names)
+            prov = {n: (node.table, n) for n in names}
+        elif isinstance(node, Project):
+            child = self._provenance(node.child)
+            for name, expr in node.outputs:
+                if isinstance(expr, ColumnRef) and expr.name in child:
+                    prov[name] = child[expr.name]
+        elif isinstance(node, Join):
+            prov = dict(self._provenance(node.left))
+            prov.update(self._provenance(node.right))
+        elif isinstance(node, Aggregate):
+            child = self._provenance(node.children()[0])
+            prov = {
+                k: child[k] for k in node.keys if k in child
+            }
+        elif node.children():
+            prov = dict(self._provenance(node.children()[0]))
+        self._provenance_memo[id(node)] = prov
+        return prov
+
+    # -- analysis ----------------------------------------------------------------
+
+    def _tail_nodes(self, plan: Plan) -> set[int]:
+        """Nodes whose every ancestor is Sort/Limit/Project (the query
+        tail a terminal device op may feed)."""
+        tail: set[int] = set()
+
+        def walk(node: Plan, on_tail: bool) -> None:
+            tail.add(id(node)) if on_tail else None
+            keeps_tail = on_tail and isinstance(node, (Sort, Limit, Project))
+            for child in node.children():
+                walk(child, keeps_tail)
+
+        walk(plan, True)
+        return tail
+
+    def _decide(
+        self,
+        node: Plan,
+        decisions: dict[int, OffloadDecision],
+        tail: set[int],
+        subqueries: list[CompiledQuery],
+    ) -> OffloadDecision:
+        if isinstance(node, Scan):
+            return OffloadDecision(True)
+
+        if isinstance(node, Filter):
+            child = decisions[id(node.child)]
+            if not child.offloadable:
+                return OffloadDecision(
+                    False, SuspendReason.UNSUPPORTED_OP,
+                    "filter over a host-resident input",
+                )
+            return self._check_expr(
+                node.predicate, subqueries, self._provenance(node.child)
+            )
+
+        if isinstance(node, Project):
+            child = decisions[id(node.child)]
+            if not child.offloadable:
+                return OffloadDecision(
+                    False, SuspendReason.UNSUPPORTED_OP,
+                    "project over a host-resident input",
+                )
+            prov = self._provenance(node.child)
+            for _, expr in node.outputs:
+                verdict = self._check_expr(expr, subqueries, prov)
+                if not verdict.offloadable:
+                    return verdict
+            return OffloadDecision(True)
+
+        if isinstance(node, Join):
+            left = decisions[id(node.left)]
+            right = decisions[id(node.right)]
+            if node.kind is JoinKind.LEFT_OUTER:
+                return OffloadDecision(
+                    False, SuspendReason.UNSUPPORTED_OP,
+                    "left-outer join stays on the host",
+                )
+            if not (left.offloadable and right.offloadable):
+                return OffloadDecision(
+                    False, SuspendReason.UNSUPPORTED_OP,
+                    "join input is host-resident",
+                )
+            if node.residual is not None:
+                prov = dict(self._provenance(node.left))
+                prov.update(self._provenance(node.right))
+                verdict = self._check_expr(node.residual, subqueries, prov)
+                if not verdict.offloadable:
+                    return verdict
+            return OffloadDecision(True)
+
+        if isinstance(node, (Aggregate, Distinct)):
+            child_node = node.children()[0]
+            child = decisions[id(child_node)]
+            if isinstance(node, Aggregate):
+                prov = self._provenance(child_node)
+                for spec in node.aggregates:
+                    if spec.func is AggFunc.COUNT_DISTINCT:
+                        return OffloadDecision(
+                            False, SuspendReason.UNSUPPORTED_OP,
+                            "count(distinct) has no Swissknife operator",
+                            device_assisted=False,
+                        )
+                    if spec.expr is not None:
+                        verdict = self._check_expr(
+                            spec.expr, subqueries, prov
+                        )
+                        if not verdict.offloadable:
+                            return verdict
+                if node.having is not None:
+                    verdict = self._check_expr(node.having, subqueries, prov)
+                    if not verdict.offloadable:
+                        return verdict
+            if not child.offloadable:
+                return OffloadDecision(
+                    False, SuspendReason.UNSUPPORTED_OP,
+                    "aggregate over a host-resident input",
+                )
+            if id(node) not in tail:
+                # Condition 1: the aggregate feeds more plan; device
+                # streams + pre-hashes, host accumulates and resumes.
+                decisions[id(child_node)].stream_for_assist = True
+                return OffloadDecision(
+                    False,
+                    SuspendReason.MID_PLAN_GROUPBY,
+                    device_assisted=True,
+                )
+            return OffloadDecision(True)
+
+        if isinstance(node, (Sort, Limit)):
+            # Result finalisation: tiny data; the simulator keeps it on
+            # the host (the paper DMAs reduced outputs to the host too).
+            return OffloadDecision(
+                False, SuspendReason.UNSUPPORTED_OP,
+                "result finalisation on the host",
+            )
+
+        return OffloadDecision(
+            False, SuspendReason.UNSUPPORTED_OP, type(node).__name__
+        )
+
+    # -- expression checks ------------------------------------------------------------
+
+    def _check_expr(
+        self,
+        expr: Expr,
+        subqueries: list[CompiledQuery],
+        prov: dict[str, tuple[str, str]] | None = None,
+    ) -> OffloadDecision:
+        if isinstance(expr, ColumnRef) or isinstance(expr, Literal):
+            return OffloadDecision(True)
+
+        if isinstance(expr, (Like,)):
+            return self._check_string_column(expr.column, prov)
+
+        if isinstance(expr, Substring):
+            verdict = self._check_string_column(expr.column, prov)
+            if not verdict.offloadable:
+                return verdict
+            return OffloadDecision(
+                False,
+                SuspendReason.UNSUPPORTED_EXPR,
+                "substring produces a new string column on the host",
+            )
+
+        if isinstance(expr, InList):
+            inner = expr.column
+            if self._is_string_column(inner, prov):
+                return self._check_string_column(inner, prov)
+            return self._check_expr(inner, subqueries, prov)
+
+        if isinstance(expr, Compare):
+            for side, other in (
+                (expr.left, expr.right),
+                (expr.right, expr.left),
+            ):
+                if isinstance(other, Literal) and other.kind is Kind.STR:
+                    return self._check_string_column(side, prov)
+            for child in expr.children():
+                verdict = self._check_expr(child, subqueries, prov)
+                if not verdict.offloadable:
+                    return verdict
+            return OffloadDecision(True)
+
+        if isinstance(expr, Arith):
+            if expr.op is ArithOp.DIV:
+                return OffloadDecision(
+                    False, SuspendReason.UNSUPPORTED_EXPR,
+                    "division is host-side (post-reduction) arithmetic",
+                )
+            for child in expr.children():
+                verdict = self._check_expr(child, subqueries, prov)
+                if not verdict.offloadable:
+                    return verdict
+            return OffloadDecision(True)
+
+        if isinstance(expr, ScalarSubquery):
+            subqueries.append(self.compile(expr.plan))
+            return OffloadDecision(True, note="scalar parameter")
+
+        if isinstance(expr, (BoolExpr, CaseWhen, ExtractYear)):
+            for child in expr.children():
+                verdict = self._check_expr(child, subqueries, prov)
+                if not verdict.offloadable:
+                    return verdict
+            return OffloadDecision(True)
+
+        return OffloadDecision(
+            False, SuspendReason.UNSUPPORTED_EXPR, type(expr).__name__
+        )
+
+    def _is_string_column(
+        self, expr: Expr, prov: dict[str, tuple[str, str]] | None = None
+    ) -> bool:
+        if not isinstance(expr, ColumnRef):
+            return False
+        resolved = self._resolve_column(expr.name, prov)
+        return resolved is not None and resolved[1].ctype.is_string
+
+    def _check_string_column(
+        self, expr: Expr, prov: dict[str, tuple[str, str]] | None = None
+    ) -> OffloadDecision:
+        """Condition 2: the regex cache must hold the column's heap."""
+        if not isinstance(expr, ColumnRef):
+            return OffloadDecision(
+                False, SuspendReason.UNSUPPORTED_EXPR,
+                "string operator over a computed expression",
+            )
+        resolved = self._resolve_column(expr.name, prov)
+        if resolved is None or resolved[1].heap is None:
+            # A renamed/derived string column: conservatively host-side.
+            return OffloadDecision(
+                False, SuspendReason.STRING_HEAP,
+                f"cannot bound the heap of {expr.name!r}",
+            )
+        table_name, column = resolved
+        effective = self._effective_heap_bytes(
+            column.heap, len(column), table_name
+        )
+        if effective > self.regex_cache_bytes:
+            return OffloadDecision(
+                False,
+                SuspendReason.STRING_HEAP,
+                f"{expr.name}: {effective} bytes (scaled) > 1 MB cache",
+            )
+        return OffloadDecision(True)
+
+    def _effective_heap_bytes(
+        self, heap, base_rows: int, table_name: str | None
+    ) -> int:
+        """Heap size at the simulated SF (fixed domains don't grow)."""
+        from repro.core.device import effective_heap_bytes
+
+        constant = table_name in self.catalog.constant_tables
+        return effective_heap_bytes(
+            heap, base_rows, self.scale_ratio, constant=constant
+        )
+
+    def _resolve_column(self, name: str, prov=None):
+        """Resolve to (table, column) via provenance, then global name."""
+        if prov is not None:
+            origin = prov.get(name)
+            if origin is not None:
+                table, base = origin
+                return table, self.catalog.table(table).column(base)
+        return self._find_base_column(name)
+
+    def _find_base_column(self, name: str):
+        """Resolve a column name to its base table column.
+
+        TPC-H column names are globally unique, so a catalog-wide
+        search is unambiguous; names that don't resolve are derived
+        columns.
+        """
+        for table in self.catalog.tables.values():
+            if table.has_column(name):
+                return table.name, table.column(name)
+        return None
+
+    # -- table task emission ----------------------------------------------------------
+
+    def emit_table_tasks(
+        self, root: Plan, n_evaluators: int = 6
+    ) -> list[TableTask]:
+        """Table Tasks for a simple offloadable pipeline.
+
+        Covers the paper's Fig. 1/Fig. 5 shapes — scan, filter,
+        transform, optional terminal reduction — which is what the
+        examples display and the device executes literally.  (The
+        simulator handles general trees component-wise.)  The default
+        evaluator budget is the paper's "4 to 6 are enough" upper end —
+        Q6's five CP terms need it.
+        """
+        chain: list[Plan] = []
+        node = root
+        while True:
+            chain.append(node)
+            kids = node.children()
+            if not kids:
+                break
+            if len(kids) > 1:
+                raise ValueError(
+                    "emit_table_tasks covers single-table pipelines; "
+                    "use the simulator for join trees"
+                )
+            node = kids[0]
+
+        chain.reverse()
+        if not isinstance(chain[0], Scan):
+            raise ValueError("pipeline must start at a Scan")
+        scan = chain[0]
+
+        base_table = self.catalog.table(scan.table)
+        string_columns = frozenset(
+            c.name for c in base_table.columns if c.ctype.is_string
+        )
+        column_scales = {
+            c.name: (2 if c.ctype.kind is TypeKind.DECIMAL else 0)
+            for c in base_table.columns
+        }
+
+        row_sel_terms = None
+        leftover_filters: list[Expr] = []
+        transform: tuple[tuple[str, Expr], ...] | None = None
+        operator = SwissknifeOp.NOP
+        operator_args: dict = {}
+
+        for node in chain[1:]:
+            if isinstance(node, Filter):
+                program, leftover = extract_predicate_program(
+                    node.predicate,
+                    n_evaluators=n_evaluators,
+                    string_columns=string_columns,
+                    column_scales=column_scales,
+                )
+                if row_sel_terms is None:
+                    row_sel_terms = program
+                else:
+                    leftover_filters.extend(program.terms)  # second filter
+                if leftover is not None:
+                    leftover_filters.append(leftover)
+            elif isinstance(node, Project):
+                transform = node.outputs
+            elif isinstance(node, Aggregate):
+                aggs = [
+                    (s.name, _swiss_func(s.func), s.expr.name
+                     if isinstance(s.expr, ColumnRef) else s.name)
+                    for s in node.aggregates
+                ]
+                if node.keys:
+                    operator = SwissknifeOp.AGGREGATE_GROUPBY
+                    operator_args = {"keys": list(node.keys), "aggs": aggs}
+                else:
+                    operator = SwissknifeOp.AGGREGATE
+                    operator_args = {"aggs": aggs}
+            elif isinstance(node, (Sort, Limit)):
+                continue
+            else:
+                raise ValueError(f"cannot emit a Table Task for {node!r}")
+
+        if leftover_filters:
+            raise ValueError(
+                "pipeline filter does not fit the Row Selector; "
+                "use the simulator"
+            )
+        if transform is None:
+            table = self.catalog.table(scan.table)
+            names = scan.columns or tuple(table.column_names)
+            transform = tuple((n, ColumnRef(n)) for n in names)
+
+        task = TableTask(
+            table=scan.table,
+            row_transf=transform,
+            row_sel=row_sel_terms
+            if row_sel_terms is not None
+            else PredicateProgram(()),
+            operator=operator,
+            operator_args=operator_args,
+            output=TaskOutput.HOST,
+        )
+        return [task]
+
+
+def _swiss_func(func: AggFunc) -> str:
+    return {
+        AggFunc.SUM: "sum",
+        AggFunc.MIN: "min",
+        AggFunc.MAX: "max",
+        AggFunc.COUNT: "cnt",
+        AggFunc.AVG: "sum",  # avg = device sum + host divide by count
+    }[func]

@@ -1,0 +1,85 @@
+"""AQUOMAN DRAM management (Sec. VI-D).
+
+The device DRAM holds only join keys and RowID columns of intermediate
+tables.  Sort-task outputs are garbage-collected as soon as their
+sort-merge consumer finishes; sort-merge outputs (the backward RowID
+pointers) live for the whole multi-way join.
+
+Capacity checks happen at the *simulated* scale: a run on SF-0.05 data
+modelling an SF-1000 device multiplies allocation sizes by the scale
+ratio before comparing against the 16/40 GB capacity, reproducing the
+paper's suspension condition 4 without terabytes of RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import GB, fmt_bytes
+
+
+class MemoryExceeded(Exception):
+    """An allocation would overflow the device DRAM (condition 4)."""
+
+
+@dataclass
+class Allocation:
+    name: str
+    nbytes: int          # actual bytes at the functional scale
+    effective_bytes: int  # bytes at the simulated scale factor
+
+
+@dataclass
+class DeviceMemory:
+    """Bump allocator with per-intermediate lifetimes and a peak gauge."""
+
+    capacity_bytes: int = 40 * GB
+    scale_ratio: float = 1.0  # simulated SF / data SF
+    _allocations: dict[str, Allocation] = field(default_factory=dict)
+    used_effective: int = 0
+    peak_effective: int = 0
+
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Reserve DRAM for an intermediate table.
+
+        Raises :class:`MemoryExceeded` when the effective (scaled) usage
+        would pass capacity — the caller suspends the query.
+        """
+        if name in self._allocations:
+            raise ValueError(f"duplicate allocation {name!r}")
+        effective = int(nbytes * self.scale_ratio)
+        if self.used_effective + effective > self.capacity_bytes:
+            raise MemoryExceeded(
+                f"allocation {name!r} of {fmt_bytes(effective)} (scaled) "
+                f"over {fmt_bytes(self.capacity_bytes)} capacity with "
+                f"{fmt_bytes(self.used_effective)} in use"
+            )
+        allocation = Allocation(name, nbytes, effective)
+        self._allocations[name] = allocation
+        self.used_effective += effective
+        self.peak_effective = max(self.peak_effective, self.used_effective)
+        return allocation
+
+    def free(self, name: str) -> None:
+        allocation = self._allocations.pop(name, None)
+        if allocation is None:
+            raise KeyError(f"no allocation named {name!r}")
+        self.used_effective -= allocation.effective_bytes
+
+    def free_all(self) -> None:
+        self._allocations.clear()
+        self.used_effective = 0
+
+    def holds(self, name: str) -> bool:
+        return name in self._allocations
+
+    @property
+    def allocations(self) -> list[Allocation]:
+        return list(self._allocations.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceMemory(used={fmt_bytes(self.used_effective)}, "
+            f"peak={fmt_bytes(self.peak_effective)}, "
+            f"cap={fmt_bytes(self.capacity_bytes)})"
+        )

@@ -1,0 +1,112 @@
+"""Regular-expression accelerator (Sec. VI-B).
+
+Sits inside the Table Reader and pre-processes a variable-sized string
+column into a one-bit column.  Its 1 MB memory holds the column's
+string heap; when the heap fits, each *unique* string is matched once
+and row evaluation is a code lookup at line rate.  When the heap does
+not fit, random reads to the flash-resident heap would destroy the
+streaming model — the query suspends to the host (condition 2 of
+Sec. VI-E).
+
+Equality and IN predicates on strings use the same path (they are
+single-pattern specials of the matcher).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.stringheap import StringHeap
+from repro.util.units import MB
+
+REGEX_CACHE_BYTES = 1 * MB
+
+
+class HeapTooLarge(Exception):
+    """The column's string heap exceeds the accelerator's 1 MB cache."""
+
+
+@dataclass
+class RegexAccelerator:
+    """Matches patterns against a heap-resident string column."""
+
+    cache_bytes: int = REGEX_CACHE_BYTES
+    unique_matches: int = 0
+    rows_evaluated: int = 0
+    patterns_compiled: int = 0
+
+    def check_heap(self, heap: StringHeap, effective_heap_bytes: int | None = None):
+        """Raise :class:`HeapTooLarge` unless the heap fits the cache.
+
+        ``effective_heap_bytes`` lets the trace-scaling machinery
+        substitute the heap size at the simulated scale factor.
+        """
+        size = (
+            effective_heap_bytes
+            if effective_heap_bytes is not None
+            else heap.heap_bytes
+        )
+        if size > self.cache_bytes:
+            raise HeapTooLarge(
+                f"string heap of {size} bytes exceeds the "
+                f"{self.cache_bytes}-byte accelerator cache"
+            )
+
+    def match_like(
+        self,
+        codes: np.ndarray,
+        heap: StringHeap,
+        regex: re.Pattern,
+        negated: bool = False,
+        effective_heap_bytes: int | None = None,
+    ) -> np.ndarray:
+        """Evaluate a compiled pattern into a one-bit column."""
+        self.check_heap(heap, effective_heap_bytes)
+        per_code = np.fromiter(
+            (regex.match(s) is not None for s in heap.strings()),
+            dtype=np.bool_,
+            count=heap.unique_count,
+        )
+        self.patterns_compiled += 1
+        self.unique_matches += heap.unique_count
+        self.rows_evaluated += len(codes)
+        mask = per_code[codes]
+        return ~mask if negated else mask
+
+    def match_equals(
+        self,
+        codes: np.ndarray,
+        heap: StringHeap,
+        value: str,
+        negated: bool = False,
+        effective_heap_bytes: int | None = None,
+    ) -> np.ndarray:
+        """String equality as a degenerate single-string pattern."""
+        self.check_heap(heap, effective_heap_bytes)
+        code = heap.lookup(value)
+        self.rows_evaluated += len(codes)
+        if code is None:
+            mask = np.zeros(len(codes), dtype=np.bool_)
+        else:
+            mask = codes == code
+        return ~mask if negated else mask
+
+    def match_in(
+        self,
+        codes: np.ndarray,
+        heap: StringHeap,
+        values: tuple,
+        negated: bool = False,
+        effective_heap_bytes: int | None = None,
+    ) -> np.ndarray:
+        self.check_heap(heap, effective_heap_bytes)
+        targets = [heap.lookup(v) for v in values]
+        targets = np.array(
+            sorted(t for t in targets if t is not None), dtype=np.int64
+        )
+        self.rows_evaluated += len(codes)
+        mask = np.isin(codes, targets)
+        return ~mask if negated else mask

@@ -1,0 +1,40 @@
+"""SQL Swissknife: the reduction accelerators (Sec. VI-C, Fig. 11).
+
+Row Vectors streaming out of the Row Transformer are tagged with a
+Column ID and routed to the accelerator the Table Task configured:
+
+- :mod:`groupby` — the 1024-bucket Aggregate-GroupBy with host
+  spill-over;
+- :mod:`topk` — the bitonic-sorter + VCAS-chain TopK;
+- :mod:`merger` — the 2-to-1 vector merger and intersection engine;
+- :mod:`sorter` — the 1 GB-block streaming sorter (and its throughput
+  model behind the paper's Table V).
+"""
+
+from repro.core.swissknife.groupby import (
+    AggregateGroupBy,
+    GroupByResult,
+    HASH_BUCKETS,
+    MAX_GROUP_ID_BYTES,
+)
+from repro.core.swissknife.topk import TopKAccelerator, vector_compare_and_swap
+from repro.core.swissknife.merger import Merger, merge_intersect
+from repro.core.swissknife.sorter import (
+    StreamingSorter,
+    SorterThroughputModel,
+    SORT_BLOCK_BYTES,
+)
+
+__all__ = [
+    "AggregateGroupBy",
+    "GroupByResult",
+    "HASH_BUCKETS",
+    "MAX_GROUP_ID_BYTES",
+    "TopKAccelerator",
+    "vector_compare_and_swap",
+    "Merger",
+    "merge_intersect",
+    "StreamingSorter",
+    "SorterThroughputModel",
+    "SORT_BLOCK_BYTES",
+]

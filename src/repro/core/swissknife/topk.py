@@ -1,0 +1,130 @@
+"""TopK accelerator (Sec. VI-C, Fig. 13, Algorithm 1).
+
+A pipelined bitonic sorter sorts each incoming Row Vector, which then
+flows through a daisy chain of Vector Compare-And-Swap (VCAS) blocks.
+Each VCAS holds the ``n`` largest values it has seen; after the whole
+stream has passed, the chain's blocks hold the global top ``k = chain
+length x n`` in descending block order.
+
+``vector_compare_and_swap`` is a direct transcription of the paper's
+Algorithm 1, and the accelerator is built purely from it — no heap,
+no global sort — so the tests can check it against ``np.sort`` while
+the structure stays the hardware's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.layout import ROW_VECTOR_SIZE
+
+
+def vector_compare_and_swap(
+    in_vec: np.ndarray, top_vec: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One VCAS step (paper Algorithm 1).
+
+    Both vectors must be sorted ascending.  Returns
+    ``(streamed_out, new_top)``: the larger half of the 2n values
+    stays, the smaller half continues down the chain; both outputs
+    remain sorted.  (The paper's pseudocode swaps at ``tailIn`` on both
+    vectors, which loses elements; we implement the tail-merge
+    selection its n compare-and-swap steps describe.)
+    """
+    n = len(in_vec)
+    if len(top_vec) != n:
+        raise ValueError("VCAS vectors must have equal length")
+    new_top = np.empty(n, dtype=np.int64)
+    tail_in = tail_top = n - 1
+    for i in range(n - 1, -1, -1):
+        take_in = tail_top < 0 or (
+            tail_in >= 0 and in_vec[tail_in] > top_vec[tail_top]
+        )
+        if take_in:
+            new_top[i] = in_vec[tail_in]
+            tail_in -= 1
+        else:
+            new_top[i] = top_vec[tail_top]
+            tail_top -= 1
+    remainder = np.concatenate(
+        [in_vec[: tail_in + 1], top_vec[: tail_top + 1]]
+    )
+    remainder.sort(kind="mergesort")
+    return remainder.astype(np.int64), new_top
+
+
+def bitonic_sort(vector: np.ndarray) -> np.ndarray:
+    """The pipelined bitonic sorter on one Row Vector.
+
+    Implemented as the classic compare-exchange network so the
+    comparator count matches hardware; the result equals ``np.sort``.
+    """
+    values = vector.copy()
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("bitonic sort needs a power-of-two width")
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            idx = np.arange(n)
+            partner = idx ^ j
+            mask = partner > idx
+            i1, i2 = idx[mask], partner[mask]
+            ascending = (idx[mask] & k) == 0
+            a, b = values[i1], values[i2]
+            swap = np.where(ascending, a > b, a < b)
+            values[i1] = np.where(swap, b, a)
+            values[i2] = np.where(swap, a, b)
+            j //= 2
+        k *= 2
+    return values
+
+
+@dataclass
+class TopKAccelerator:
+    """A chain of ``k / n`` VCAS blocks fed by the bitonic sorter."""
+
+    k: int
+    vector_size: int = ROW_VECTOR_SIZE
+
+    def __post_init__(self):
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        self.n_blocks = -(-self.k // self.vector_size)
+        self.vectors_processed = 0
+        self.cas_steps = 0
+
+    def run(self, stream: np.ndarray) -> np.ndarray:
+        """Top-``k`` values of ``stream``, descending.
+
+        Pads the stream's tail vector (and under-full chains) with
+        int64 min so the compare network sees full vectors.
+        """
+        n = self.vector_size
+        floor = np.iinfo(np.int64).min
+        blocks = [
+            np.full(n, floor, dtype=np.int64) for _ in range(self.n_blocks)
+        ]
+
+        padded = len(stream) + (-len(stream)) % n
+        buffer = np.full(padded, floor, dtype=np.int64)
+        buffer[: len(stream)] = stream
+
+        for start in range(0, padded, n):
+            vector = bitonic_sort(buffer[start : start + n])
+            self.vectors_processed += 1
+            for i in range(self.n_blocks):
+                vector, blocks[i] = vector_compare_and_swap(
+                    vector, blocks[i]
+                )
+                self.cas_steps += n
+                if vector[-1] == floor:
+                    break  # nothing further can displace lower blocks
+
+        # blocks[0] holds the largest n, blocks[1] the next n, ...
+        merged = np.concatenate([b[::-1] for b in blocks])
+        merged = merged[merged != floor]
+        return merged[: self.k]

@@ -1,0 +1,70 @@
+"""Table Tasks: AQUOMAN's programming model (Sec. V).
+
+A Table Task applies the fixed pipeline — row selection, row
+transformation, one Swissknife operator — to an input table, writing
+its output to device DRAM or back to the host.  Complex queries chain
+tasks through DRAM, exactly like the paper's Fig. 5 join example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.row_selector import PredicateProgram
+from repro.sqlir.expr import Expr
+
+
+class SwissknifeOp(Enum):
+    """The seven Swissknife operators (Sec. V)."""
+
+    NOP = "nop"
+    TOPK = "topk"
+    SORT = "sort"
+    MERGE = "merge"
+    SORT_MERGE = "sort_merge"
+    AGGREGATE = "aggregate"
+    AGGREGATE_GROUPBY = "aggregate_groupby"
+
+
+class TaskOutput(Enum):
+    HOST = "host"
+    AQUOMAN_MEM = "aquoman_mem"
+
+
+@dataclass
+class TableTask:
+    """One configured pass of the device pipeline over a table.
+
+    Mirrors the paper's structure field-for-field:
+
+    - ``table`` — the input base table (or a DRAM intermediate name);
+    - ``mask_src`` — where row-processing masks come from: ``None``
+      (all rows), a DRAM intermediate name, or a host-supplied mask;
+    - ``row_sel`` — the Row Selection Program (single-column constant
+      predicates only);
+    - ``row_transf`` — output column expressions mapped over selected
+      rows (compiled onto the PE array by the device);
+    - ``operator`` — the Swissknife reduction, with ``operator_args``
+      (e.g. the DRAM partner of a SORT_MERGE, TopK's k, group keys);
+    - ``output`` — HOST (DMA) or AQUOMAN_MEM under ``output_name``.
+    """
+
+    table: str
+    row_transf: tuple[tuple[str, Expr], ...]
+    mask_src: str | None = None
+    row_sel: PredicateProgram = PredicateProgram(())
+    operator: SwissknifeOp = SwissknifeOp.NOP
+    operator_args: dict = field(default_factory=dict)
+    output: TaskOutput = TaskOutput.HOST
+    output_name: str = ""
+
+    def __repr__(self) -> str:
+        dest = (
+            "Host" if self.output is TaskOutput.HOST else self.output_name
+        )
+        return (
+            f"TableTask({self.table}, sel={len(self.row_sel)}CP, "
+            f"transf={[n for n, _ in self.row_transf]}, "
+            f"{self.operator.value} -> {dest})"
+        )

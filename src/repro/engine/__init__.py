@@ -1,0 +1,13 @@
+"""Software baseline engine (the MonetDB stand-in) and host models."""
+
+from repro.engine.executor import Engine, MATCH_FLAG
+from repro.engine.relation import Relation, typed_array_from_column
+from repro.engine.pagecache import LruPageCache
+
+__all__ = [
+    "Engine",
+    "MATCH_FLAG",
+    "Relation",
+    "typed_array_from_column",
+    "LruPageCache",
+]

@@ -1,0 +1,463 @@
+"""The software baseline: a column-at-a-time vectorised executor.
+
+This is the repo's MonetDB stand-in.  It executes logical plans exactly
+(it is the functional ground truth AQUOMAN's device model is checked
+against) while recording a :class:`~repro.perf.trace.QueryTrace` that
+the host cost model turns into run times — the same structure as the
+paper's trace-based simulator, with the roles swapped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.operators.grouping import (
+    GroupedKeys,
+    aggregate_count,
+    aggregate_count_distinct,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    group_rows,
+)
+from repro.engine.operators.joins import inner_join_indices, semi_join_mask
+from repro.engine.operators.sorting import multi_key_order
+from repro.engine.relation import Relation, typed_array_from_column
+from repro.perf.trace import OpTrace, QueryTrace
+from repro.sqlir.expr import (
+    AggFunc,
+    EvalContext,
+    Kind,
+    TypedArray,
+    evaluate,
+)
+from repro.sqlir.plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinKind,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+MATCH_FLAG = "@matched"
+
+
+class Engine:
+    """Executes logical plans against a catalog, tracing as it goes."""
+
+    def __init__(self, catalog: Catalog, trace: QueryTrace | None = None):
+        self.catalog = catalog
+        self.trace = trace if trace is not None else QueryTrace()
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, plan: Plan, name: str = "result") -> Table:
+        """Run a plan to completion and decode the result table."""
+        return self.execute_relation(plan).to_table(name)
+
+    def execute_relation(self, plan: Plan) -> Relation:
+        return self._run(plan)
+
+    def scalar(self, plan: Plan) -> TypedArray:
+        """Run a plan expected to produce exactly one value."""
+        relation = self._run(plan)
+        if relation.nrows != 1 or len(relation.columns) != 1:
+            raise ValueError(
+                f"scalar subquery produced shape "
+                f"({relation.nrows} rows, {len(relation.columns)} cols)"
+            )
+        return next(iter(relation.columns.values()))
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _run(self, plan: Plan) -> Relation:
+        handler: Callable = {
+            Scan: self._run_scan,
+            Filter: self._run_filter,
+            Project: self._run_project,
+            Join: self._run_join,
+            Aggregate: self._run_aggregate,
+            Sort: self._run_sort,
+            Limit: self._run_limit,
+            Distinct: self._run_distinct,
+        }[type(plan)]
+        return handler(plan)
+
+    def _context(self, relation: Relation) -> EvalContext:
+        return EvalContext(
+            columns=relation.columns,
+            nrows=relation.nrows,
+            subquery_executor=self.scalar,
+        )
+
+    # -- operators ------------------------------------------------------------------
+
+    def _run_scan(self, plan: Scan) -> Relation:
+        table = self.catalog.table(plan.table)
+        names = plan.columns if plan.columns is not None else tuple(
+            table.column_names
+        )
+        columns = {}
+        for name in names:
+            col = table.column(name)
+            columns[name] = typed_array_from_column(col)
+            self.trace.record_flash(plan.table, name, col.nbytes)
+        relation = Relation(columns)
+        self.trace.record_op(
+            OpTrace(
+                "scan",
+                rows_in=table.nrows,
+                rows_out=relation.nrows,
+                bytes_in=sum(table.column(n).nbytes for n in names),
+                bytes_out=relation.nbytes(),
+                detail=plan.table,
+            )
+        )
+        self.trace.observe_host_bytes(_column_live_bytes(relation))
+        return relation
+
+    def _run_filter(self, plan: Filter) -> Relation:
+        child = self._run(plan.child)
+        mask = evaluate(plan.predicate, self._context(child))
+        keep = mask.values.astype(np.bool_)
+        out = child.mask(keep)
+        self.trace.record_op(
+            OpTrace(
+                "filter",
+                rows_in=child.nrows,
+                rows_out=out.nrows,
+                bytes_in=child.nbytes(),
+                bytes_out=out.nbytes(),
+            )
+        )
+        # Live set: a predicate column, a gather buffer, the candidate list.
+        self.trace.observe_host_bytes(
+            _column_live_bytes(child) + _column_live_bytes(out)
+            + out.nrows * 8
+        )
+        return out
+
+    def _run_project(self, plan: Project) -> Relation:
+        child = self._run(plan.child)
+        ctx = self._context(child)
+        columns = {
+            name: evaluate(expr, ctx) for name, expr in plan.outputs
+        }
+        out = Relation(columns)
+        self.trace.record_op(
+            OpTrace(
+                "project",
+                rows_in=child.nrows,
+                rows_out=out.nrows,
+                bytes_in=child.nbytes(),
+                bytes_out=out.nbytes(),
+            )
+        )
+        self.trace.observe_host_bytes(
+            _column_live_bytes(child) + _column_live_bytes(out)
+        )
+        return out
+
+    def _run_join(self, plan: Join) -> Relation:
+        left = self._run(plan.left)
+        right = self._run(plan.right)
+        left_keys = left.column(plan.left_key).values
+        right_keys = right.column(plan.right_key).values
+
+        if plan.kind in (JoinKind.SEMI, JoinKind.ANTI) and plan.residual is None:
+            matched = semi_join_mask(left_keys, right_keys)
+            keep = matched if plan.kind is JoinKind.SEMI else ~matched
+            out = left.mask(keep)
+            pairs = int(matched.sum())
+        else:
+            li, ri = inner_join_indices(left_keys, right_keys)
+            pairs = len(li)
+            if plan.residual is not None:
+                joined = _pair_relation(left, right, li, ri, plan.left_key)
+                residual = evaluate(
+                    plan.residual, self._context(joined)
+                ).values.astype(np.bool_)
+                li, ri = li[residual], ri[residual]
+
+            if plan.kind is JoinKind.INNER:
+                out = _pair_relation(left, right, li, ri, plan.left_key)
+            elif plan.kind is JoinKind.SEMI:
+                keep = np.zeros(left.nrows, dtype=np.bool_)
+                keep[li] = True
+                out = left.mask(keep)
+            elif plan.kind is JoinKind.ANTI:
+                keep = np.ones(left.nrows, dtype=np.bool_)
+                keep[li] = False
+                out = left.mask(keep)
+            elif plan.kind is JoinKind.LEFT_OUTER:
+                out = _left_outer_relation(
+                    left, right, li, ri, plan.left_key
+                )
+            else:  # pragma: no cover - exhaustive over JoinKind
+                raise NotImplementedError(plan.kind)
+
+        self.trace.record_op(
+            OpTrace(
+                "join",
+                rows_in=left.nrows + right.nrows,
+                rows_out=out.nrows,
+                bytes_in=left.nbytes() + right.nbytes(),
+                bytes_out=out.nbytes(),
+                detail=f"{plan.kind.value}, pairs={pairs}",
+            )
+        )
+        # Live set: both key columns, the pair lists, output gathers.
+        self.trace.observe_host_bytes(
+            _column_live_bytes(left)
+            + _column_live_bytes(right)
+            + min(left.nrows, right.nrows) * 16  # build-side hash/ids
+            + out.nrows * 16                     # (left, right) row pairs
+            + _column_live_bytes(out)
+        )
+        return out
+
+    def _run_aggregate(self, plan: Aggregate) -> Relation:
+        child = self._run(plan.child)
+        out, groups = aggregate_relation(child, plan, self.scalar)
+        self.trace.record_op(
+            OpTrace(
+                "aggregate",
+                rows_in=child.nrows,
+                rows_out=out.nrows,
+                bytes_in=child.nbytes(),
+                bytes_out=out.nbytes(),
+                detail=f"groups={groups.n_groups}",
+                groups=groups.n_groups,
+            )
+        )
+        # Live set: input column + the group hash table (~48 B/entry:
+        # bucket, key, slot of accumulators) + the output.
+        self.trace.observe_host_bytes(
+            _column_live_bytes(child) + groups.n_groups * 48 + out.nbytes()
+        )
+        return out
+
+    def _run_sort(self, plan: Sort) -> Relation:
+        child = self._run(plan.child)
+        keys = [
+            (child.column(k.column), k.ascending) for k in plan.keys
+        ]
+        order = multi_key_order(keys)
+        out = child.take(order)
+        self.trace.record_op(
+            OpTrace(
+                "sort",
+                rows_in=child.nrows,
+                rows_out=out.nrows,
+                bytes_in=child.nbytes(),
+                bytes_out=out.nbytes(),
+                detail=",".join(k.column for k in plan.keys),
+            )
+        )
+        # A sort materialises its whole input.
+        self.trace.observe_host_bytes(child.nbytes() + out.nbytes())
+        return out
+
+    def _run_limit(self, plan: Limit) -> Relation:
+        child = self._run(plan.child)
+        out = child.take(np.arange(min(plan.count, child.nrows)))
+        self.trace.record_op(
+            OpTrace(
+                "limit",
+                rows_in=child.nrows,
+                rows_out=out.nrows,
+                bytes_in=child.nbytes(),
+                bytes_out=out.nbytes(),
+            )
+        )
+        return out
+
+    def _run_distinct(self, plan: Distinct) -> Relation:
+        child = self._run(plan.child)
+        groups = group_rows(
+            [arr.values for arr in child.columns.values()]
+        )
+        out = child.take(np.sort(groups.representative))
+        self.trace.record_op(
+            OpTrace(
+                "distinct",
+                rows_in=child.nrows,
+                rows_out=out.nrows,
+                bytes_in=child.nbytes(),
+                bytes_out=out.nbytes(),
+            )
+        )
+        return out
+
+
+
+def _column_live_bytes(relation: Relation, n_columns: int = 2) -> int:
+    """Resident bytes of a column-at-a-time pass over a relation.
+
+    MonetDB's execution materialises one BAT at a time, so the live set
+    of a streaming operator is a couple of column buffers, not the whole
+    relation (whose other columns stay as cold mmap'd files).
+    """
+    ncols = max(len(relation.columns), 1)
+    return relation.nbytes() // ncols * n_columns
+
+
+def _numeric(arr: TypedArray) -> np.ndarray:
+    if arr.kind is Kind.FLOAT:
+        return arr.values.astype(np.float64)
+    return arr.values.astype(np.int64)
+
+
+def aggregate_relation(
+    child: Relation,
+    plan: Aggregate,
+    subquery_executor=None,
+) -> tuple[Relation, GroupedKeys]:
+    """Group ``child`` by the plan's keys and compute its aggregates.
+
+    Shared by the software engine and the AQUOMAN device model so both
+    produce bit-identical results; returns the output relation and the
+    grouping (for spill/group accounting).
+    """
+    ctx = EvalContext(
+        columns=child.columns,
+        nrows=child.nrows,
+        subquery_executor=subquery_executor,
+    )
+    key_arrays = [child.column(k) for k in plan.keys]
+    groups = group_rows([k.values for k in key_arrays])
+    if not plan.keys and child.nrows:
+        groups = GroupedKeys(
+            group_of_row=np.zeros(child.nrows, dtype=np.int64),
+            representative=np.zeros(1, dtype=np.int64),
+        )
+
+    columns: dict[str, TypedArray] = {}
+    for name, key in zip(plan.keys, key_arrays):
+        columns[name] = TypedArray(
+            key.values[groups.representative], key.kind, key.scale, key.heap
+        )
+    for spec in plan.aggregates:
+        columns[spec.name] = _aggregate_one(spec, ctx, groups)
+
+    out = Relation(columns)
+    if plan.having is not None:
+        having_ctx = EvalContext(
+            columns=out.columns,
+            nrows=out.nrows,
+            subquery_executor=subquery_executor,
+        )
+        keep = evaluate(plan.having, having_ctx).values.astype(np.bool_)
+        out = out.mask(keep)
+    return out, groups
+
+
+def _aggregate_one(spec, ctx: EvalContext, groups: GroupedKeys) -> TypedArray:
+    if spec.func is AggFunc.COUNT and spec.expr is None:
+        return TypedArray(aggregate_count(groups), Kind.INT, 0)
+    values = evaluate(spec.expr, ctx)
+    if spec.func is AggFunc.COUNT:
+        return TypedArray(aggregate_count(groups), Kind.INT, 0)
+    if spec.func is AggFunc.COUNT_DISTINCT:
+        return TypedArray(
+            aggregate_count_distinct(values.values, groups), Kind.INT, 0
+        )
+    if spec.func is AggFunc.SUM:
+        return TypedArray(
+            aggregate_sum(_numeric(values), groups),
+            values.kind,
+            values.scale,
+        )
+    if spec.func is AggFunc.AVG:
+        sums = aggregate_sum(_numeric(values).astype(np.float64), groups)
+        counts = aggregate_count(groups)
+        means = np.where(counts == 0, 0.0, sums / np.maximum(counts, 1))
+        if values.kind is Kind.INT and values.scale:
+            means = means / (10**values.scale)
+        return TypedArray(means, Kind.FLOAT, 0)
+    if spec.func is AggFunc.MIN:
+        return TypedArray(
+            aggregate_min(_numeric(values), groups),
+            values.kind,
+            values.scale,
+        )
+    if spec.func is AggFunc.MAX:
+        return TypedArray(
+            aggregate_max(_numeric(values), groups),
+            values.kind,
+            values.scale,
+        )
+    raise NotImplementedError(spec.func)
+
+
+def _pair_relation(
+    left: Relation,
+    right: Relation,
+    li: np.ndarray,
+    ri: np.ndarray,
+    left_key: str,
+) -> Relation:
+    """Materialise inner-join pairs: left columns then right columns.
+
+    Column names must be disjoint (TPC-H prefixes guarantee it; self-join
+    builders rename first).
+    """
+    columns: dict[str, TypedArray] = {}
+    for name, arr in left.columns.items():
+        columns[name] = TypedArray(arr.values[li], arr.kind, arr.scale, arr.heap)
+    for name, arr in right.columns.items():
+        if name in columns:
+            raise ValueError(
+                f"join column collision on {name!r}; rename inputs first"
+            )
+        columns[name] = TypedArray(arr.values[ri], arr.kind, arr.scale, arr.heap)
+    return Relation(columns)
+
+
+def _left_outer_relation(
+    left: Relation,
+    right: Relation,
+    li: np.ndarray,
+    ri: np.ndarray,
+    left_key: str,
+) -> Relation:
+    """Left-outer pairs plus a ``@matched`` flag column.
+
+    Unmatched left rows appear once with zeroed right columns and a
+    false flag (SQL NULLs; TPC-H's only outer join immediately counts
+    the matched side, which the flag expresses exactly).
+    """
+    matched_any = np.zeros(left.nrows, dtype=np.bool_)
+    matched_any[li] = True
+    missing = np.flatnonzero(~matched_any)
+
+    all_left = np.concatenate([li, missing])
+    flag = np.concatenate(
+        [np.ones(len(li), dtype=np.bool_), np.zeros(len(missing), dtype=np.bool_)]
+    )
+
+    columns: dict[str, TypedArray] = {}
+    for name, arr in left.columns.items():
+        columns[name] = TypedArray(
+            arr.values[all_left], arr.kind, arr.scale, arr.heap
+        )
+    for name, arr in right.columns.items():
+        if name in columns:
+            raise ValueError(
+                f"join column collision on {name!r}; rename inputs first"
+            )
+        padded = np.concatenate(
+            [arr.values[ri], np.zeros(len(missing), dtype=arr.values.dtype)]
+        )
+        columns[name] = TypedArray(padded, arr.kind, arr.scale, arr.heap)
+    columns[MATCH_FLAG] = TypedArray(flag, Kind.BOOL)
+    return Relation(columns)

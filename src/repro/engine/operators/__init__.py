@@ -1,0 +1,16 @@
+"""Vectorised operator kernels used by the software executor."""
+
+from repro.engine.operators.joins import (
+    inner_join_indices,
+    semi_join_mask,
+)
+from repro.engine.operators.grouping import group_rows, GroupedKeys
+from repro.engine.operators.sorting import multi_key_order
+
+__all__ = [
+    "inner_join_indices",
+    "semi_join_mask",
+    "group_rows",
+    "GroupedKeys",
+    "multi_key_order",
+]

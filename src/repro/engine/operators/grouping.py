@@ -1,0 +1,118 @@
+"""Group-by kernels: factorise key tuples into dense group numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GroupedKeys:
+    """Dense group numbering of the input rows.
+
+    ``group_of_row[i]`` is the group number of input row ``i``;
+    ``representative[g]`` is the first input row of group ``g`` (used to
+    read back the key values); groups are numbered in first-appearance
+    order, matching the hardware accelerator's "assign group numbers in
+    increasing order" rule (Sec. VI-C).
+    """
+
+    group_of_row: np.ndarray
+    representative: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.representative)
+
+
+def group_rows(key_columns: list[np.ndarray]) -> GroupedKeys:
+    """Factorise one or more equal-length key columns.
+
+    With no key columns, all rows fall into a single global group
+    (SQL's implicit group for aggregate-only queries).
+    """
+    if not key_columns:
+        n = 0
+        return GroupedKeys(
+            group_of_row=np.zeros(n, dtype=np.int64),
+            representative=np.zeros(1, dtype=np.int64),
+        )
+
+    n = len(key_columns[0])
+    if n == 0:
+        return GroupedKeys(
+            group_of_row=np.empty(0, dtype=np.int64),
+            representative=np.empty(0, dtype=np.int64),
+        )
+
+    # Lexicographic factorisation: sort rows by the key tuple, mark
+    # boundaries, then renumber groups by first appearance.
+    order = np.lexsort(tuple(reversed([np.asarray(k) for k in key_columns])))
+    boundaries = np.zeros(n, dtype=np.bool_)
+    boundaries[0] = True
+    for key in key_columns:
+        key = np.asarray(key)
+        boundaries[1:] |= key[order][1:] != key[order][:-1]
+    sorted_gid = np.cumsum(boundaries) - 1
+
+    gid_by_row = np.empty(n, dtype=np.int64)
+    gid_by_row[order] = sorted_gid
+
+    # Renumber so group ids follow first appearance in input order.
+    first_seen = np.full(int(sorted_gid[-1]) + 1, n, dtype=np.int64)
+    np.minimum.at(first_seen, gid_by_row, np.arange(n, dtype=np.int64))
+    appearance_rank = np.argsort(np.argsort(first_seen, kind="stable"))
+    group_of_row = appearance_rank[gid_by_row]
+
+    n_groups = len(first_seen)
+    representative = np.empty(n_groups, dtype=np.int64)
+    representative[appearance_rank] = first_seen
+    return GroupedKeys(group_of_row, representative)
+
+
+def aggregate_sum(values: np.ndarray, groups: GroupedKeys) -> np.ndarray:
+    out = np.zeros(groups.n_groups, dtype=values.dtype)
+    np.add.at(out, groups.group_of_row, values)
+    return out
+
+
+def aggregate_count(groups: GroupedKeys) -> np.ndarray:
+    out = np.zeros(groups.n_groups, dtype=np.int64)
+    np.add.at(out, groups.group_of_row, 1)
+    return out
+
+
+def aggregate_min(values: np.ndarray, groups: GroupedKeys) -> np.ndarray:
+    out = np.full(groups.n_groups, _identity_max(values.dtype))
+    np.minimum.at(out, groups.group_of_row, values)
+    return out
+
+
+def aggregate_max(values: np.ndarray, groups: GroupedKeys) -> np.ndarray:
+    out = np.full(groups.n_groups, _identity_min(values.dtype))
+    np.maximum.at(out, groups.group_of_row, values)
+    return out
+
+
+def aggregate_count_distinct(
+    values: np.ndarray, groups: GroupedKeys
+) -> np.ndarray:
+    """Distinct values per group (host-only; the Swissknife lacks it)."""
+    out = np.zeros(groups.n_groups, dtype=np.int64)
+    pairs = np.stack([groups.group_of_row, values.astype(np.int64)])
+    unique_pairs = np.unique(pairs, axis=1)
+    np.add.at(out, unique_pairs[0], 1)
+    return out
+
+
+def _identity_max(dtype):
+    if np.issubdtype(dtype, np.floating):
+        return np.inf
+    return np.iinfo(dtype).max
+
+
+def _identity_min(dtype):
+    if np.issubdtype(dtype, np.floating):
+        return -np.inf
+    return np.iinfo(dtype).min

@@ -1,0 +1,56 @@
+"""Equi-join kernels.
+
+The software baseline joins the way MonetDB does for unsorted inputs:
+sort one side, binary-search the other, expand duplicate runs.  The same
+kernel yields inner pair lists; semi/anti reduce the pair list (or, when
+no residual predicate is involved, short-circuit to a membership test).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def inner_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All matching (left_row, right_row) pairs of an inner equi-join.
+
+    Pairs are produced in left-row-major order, so downstream gathers
+    keep the left relation's row order — like MonetDB's fetch joins.
+    """
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+
+    lo = np.searchsorted(sorted_right, left_keys, side="left")
+    hi = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = hi - lo
+
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    left_out = np.repeat(np.arange(len(left_keys), dtype=np.int64), counts)
+    # For each left row, enumerate its run [lo, hi) in the sorted right.
+    starts = np.repeat(lo, counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    right_out = order[starts + within]
+    return left_out, right_out
+
+
+def semi_join_mask(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> np.ndarray:
+    """Boolean mask of left rows having at least one right match."""
+    if len(right_keys) == 0:
+        return np.zeros(len(left_keys), dtype=np.bool_)
+    return np.isin(left_keys, right_keys)

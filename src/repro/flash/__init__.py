@@ -1,0 +1,31 @@
+"""NAND flash array and controller simulator.
+
+Models the storage device AQUOMAN is embedded in (the paper's BlueDBM
+custom flash card): 8 KB pages, 2.4 GB/s sequential read, 0.8 GB/s write,
+a command queue of depth 128, and a controller switch that fairly
+arbitrates page commands between the host I/O path and AQUOMAN.
+
+The simulator is an accounting model: page *contents* live in the
+catalog's column arrays; the flash layer tracks which pages were touched,
+in what order, and what that costs in time.
+"""
+
+from repro.flash.nand import FlashConfig, FlashTiming
+from repro.flash.controller import (
+    CommandKind,
+    FlashCommand,
+    FlashController,
+    FlashStats,
+)
+from repro.flash.switch import ControllerSwitch, FlashClient
+
+__all__ = [
+    "FlashConfig",
+    "FlashTiming",
+    "CommandKind",
+    "FlashCommand",
+    "FlashController",
+    "FlashStats",
+    "ControllerSwitch",
+    "FlashClient",
+]

@@ -1,0 +1,57 @@
+"""NAND geometry and timing parameters.
+
+Defaults mirror the BlueDBM flash card used for the AQUOMAN prototype
+(Sec. VII): 1 TB capacity, 8 KB page access granularity, 2.4 GB/s read
+bandwidth and 800 MB/s write bandwidth, with a command queue of depth
+128 (Sec. VI sizes the Row-Mask circular buffer from this depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, KB, MB, TB
+
+
+@dataclass(frozen=True)
+class FlashConfig:
+    """Static geometry and bandwidth of the flash device."""
+
+    capacity_bytes: int = 1 * TB
+    page_bytes: int = 8 * KB
+    read_bandwidth: float = 2.4 * GB  # bytes / second, sequential
+    write_bandwidth: float = 800 * MB
+    queue_depth: int = 128
+    read_latency_us: float = 100.0  # NAND array access latency
+    write_latency_us: float = 500.0
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_bytes // self.page_bytes
+
+    @property
+    def pages_per_second_read(self) -> float:
+        return self.read_bandwidth / self.page_bytes
+
+    @property
+    def pages_per_second_write(self) -> float:
+        return self.write_bandwidth / self.page_bytes
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Derived service times for one page command, in seconds."""
+
+    read_service_s: float
+    write_service_s: float
+    read_latency_s: float
+    write_latency_s: float
+
+    @classmethod
+    def from_config(cls, config: FlashConfig) -> "FlashTiming":
+        return cls(
+            read_service_s=config.page_bytes / config.read_bandwidth,
+            write_service_s=config.page_bytes / config.write_bandwidth,
+            read_latency_s=config.read_latency_us * 1e-6,
+            write_latency_s=config.write_latency_us * 1e-6,
+        )

@@ -1,0 +1,65 @@
+"""Flash controller switch: fair arbitration of host vs AQUOMAN traffic.
+
+The paper's device exposes the NAND array to two masters — the legacy
+host I/O queues and AQUOMAN — through a switch that "fairly arbitrates
+flash commands" (Sec. V).  We model fairness as equal bandwidth shares
+while both clients are active, which is what round-robin page-command
+arbitration converges to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.flash.controller import CommandKind, FlashCommand, FlashController
+
+
+class FlashClient(Enum):
+    HOST = "host"
+    AQUOMAN = "aquoman"
+
+
+@dataclass
+class _ClientShare:
+    bytes_requested: float = 0.0
+    seconds_alone: float = 0.0
+
+
+class ControllerSwitch:
+    """Splits one flash channel between the host and AQUOMAN."""
+
+    def __init__(self, controller: FlashController | None = None):
+        self.controller = controller or FlashController()
+        self._shares = {c: _ClientShare() for c in FlashClient}
+
+    def submit(
+        self,
+        client: FlashClient,
+        kind: CommandKind,
+        page_id: int,
+        issue_time: float = 0.0,
+    ) -> float:
+        """Forward one command, tagged with its client, to the controller."""
+        share = self._shares[client]
+        share.bytes_requested += self.controller.config.page_bytes
+        return self.controller.submit(
+            FlashCommand(kind, page_id, client.value, issue_time)
+        )
+
+    def effective_read_bandwidth(self, concurrent_clients: int) -> float:
+        """Per-client read bandwidth when ``concurrent_clients`` contend.
+
+        Fair arbitration gives each active client an equal share of the
+        channel; a single client gets the full 2.4 GB/s.
+        """
+        if concurrent_clients < 1:
+            raise ValueError("need at least one client")
+        return self.controller.config.read_bandwidth / concurrent_clients
+
+    def bytes_requested(self, client: FlashClient) -> float:
+        return self._shares[client].bytes_requested
+
+    @property
+    def stats(self):
+        return self.controller.stats

@@ -1,0 +1,133 @@
+"""End-to-end evaluation driver: the paper's Fig. 16 in one call.
+
+Runs every TPC-H query twice — once on the pure-host engine, once
+through the AQUOMAN simulator — collects traces, scales them to a target
+SF, and times them on each system configuration (S, L, S-AQUOMAN,
+L-AQUOMAN, S-AQUOMAN16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.model import (
+    AQUOMAN_16GB,
+    AQUOMAN_40GB,
+    HOST_L,
+    HOST_S,
+    QueryTiming,
+    SystemModel,
+)
+from repro.perf.scaling import scale_trace
+from repro.perf.trace import QueryTrace
+
+
+@dataclass
+class EvaluationReport:
+    """All (query, system) timings plus derived paper metrics."""
+
+    target_sf: float
+    timings: dict[tuple[str, str], QueryTiming] = field(default_factory=dict)
+    systems: list[str] = field(default_factory=list)
+    queries: list[str] = field(default_factory=list)
+
+    def timing(self, query: str, system: str) -> QueryTiming:
+        return self.timings[(query, system)]
+
+    def total_runtime(self, system: str) -> float:
+        return sum(
+            t.runtime_s
+            for (_, s), t in self.timings.items()
+            if s == system
+        )
+
+    def cpu_saving(self, query: str) -> float:
+        """Fraction of host CPU work AQUOMAN removes (L vs L-AQUOMAN)."""
+        base = self.timing(query, "L").cpu_busy_s
+        augmented = self.timing(query, "L-AQUOMAN").cpu_busy_s
+        if base <= 0:
+            return 0.0
+        return max(0.0, 1.0 - augmented / base)
+
+    def mean_cpu_saving(self) -> float:
+        savings = [self.cpu_saving(q) for q in self.queries]
+        return sum(savings) / len(savings) if savings else 0.0
+
+    def dram_saving(self, query: str) -> float:
+        """Fraction of average host RSS removed (L vs L-AQUOMAN)."""
+        base = self.timing(query, "L").host_avg_bytes
+        augmented = self.timing(query, "L-AQUOMAN").host_avg_bytes
+        if base <= 0:
+            return 0.0
+        return max(0.0, 1.0 - augmented / base)
+
+    def mean_dram_saving(self) -> float:
+        savings = [self.dram_saving(q) for q in self.queries]
+        return sum(savings) / len(savings) if savings else 0.0
+
+    def device_fraction(self, query: str) -> float:
+        return self.timing(query, "L-AQUOMAN").device_fraction
+
+    def rows(self) -> list[dict]:
+        """Flat records, one per (query, system), for table rendering."""
+        return [
+            {
+                "query": q,
+                "system": s,
+                "runtime_s": t.runtime_s,
+                "io_s": t.io_s,
+                "cpu_s": t.cpu_s,
+                "device_s": t.device_s,
+                "host_peak_gb": t.host_peak_bytes / (1 << 30),
+                "host_avg_gb": t.host_avg_bytes / (1 << 30),
+                "device_peak_gb": t.device_peak_bytes / (1 << 30),
+            }
+            for (q, s), t in sorted(self.timings.items())
+        ]
+
+
+SYSTEM_FACTORIES = {
+    "S": lambda: SystemModel(HOST_S),
+    "L": lambda: SystemModel(HOST_L),
+    "S-AQUOMAN": lambda: SystemModel(HOST_S, AQUOMAN_40GB),
+    "L-AQUOMAN": lambda: SystemModel(HOST_L, AQUOMAN_40GB),
+    "S-AQUOMAN16": lambda: SystemModel(HOST_S, AQUOMAN_16GB),
+}
+
+
+def run_evaluation(
+    host_traces: dict[str, QueryTrace],
+    aquoman_traces: dict[str, QueryTrace],
+    aquoman16_traces: dict[str, QueryTrace] | None = None,
+    target_sf: float = 1000.0,
+    group_domains: dict[str, int] | None = None,
+) -> EvaluationReport:
+    """Time every query on every system at ``target_sf``.
+
+    ``host_traces`` come from pure-host runs; ``aquoman_traces`` from the
+    AQUOMAN simulator with 40 GB device DRAM, and ``aquoman16_traces``
+    (optional, defaults to the 40 GB traces) with 16 GB — the DRAM limit
+    changes which queries suspend, so the traces differ.
+    """
+    report = EvaluationReport(target_sf=target_sf)
+    report.queries = sorted(host_traces)
+    report.systems = list(SYSTEM_FACTORIES)
+    if aquoman16_traces is None:
+        aquoman16_traces = aquoman_traces
+
+    trace_for_system = {
+        "S": host_traces,
+        "L": host_traces,
+        "S-AQUOMAN": aquoman_traces,
+        "L-AQUOMAN": aquoman_traces,
+        "S-AQUOMAN16": aquoman16_traces,
+    }
+    for system, factory in SYSTEM_FACTORIES.items():
+        model = factory()
+        for query in report.queries:
+            trace = trace_for_system[system][query]
+            scaled = scale_trace(
+                trace, target_sf, group_domains=group_domains
+            )
+            report.timings[(query, system)] = model.time_query(scaled)
+    return report

@@ -1,0 +1,114 @@
+"""Scale small-SF traces to the paper's SF-1000.
+
+TPC-H cardinalities are (by spec) linear in the scale factor for all
+tables except ``nation`` (25 rows) and ``region`` (5 rows), which are
+constant.  Query data flows therefore scale linearly too, with two
+documented exceptions handled here:
+
+- group counts saturate at their domain size (e.g. Q1 always has 4
+  groups; Q18's group count tracks the customer×order domain and keeps
+  growing);
+- the constant-size dimension tables contribute constant bytes.
+
+A :class:`ScaledTrace` is a :class:`~repro.perf.trace.QueryTrace` whose
+volumes have been re-expressed at a target SF; the timing models accept
+either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.perf.trace import OpTrace, QueryTrace
+
+# Tables whose cardinality does not grow with SF.
+CONSTANT_TABLES = frozenset({"nation", "region"})
+
+
+@dataclass
+class ScaledTrace(QueryTrace):
+    """A query trace re-expressed at a different scale factor."""
+
+    source_scale_factor: float = 1.0
+
+
+def scale_trace(
+    trace: QueryTrace,
+    target_sf: float,
+    *,
+    group_domains: dict[str, int] | None = None,
+) -> ScaledTrace:
+    """Re-express ``trace`` (collected at ``trace.scale_factor``) at
+    ``target_sf``.
+
+    ``group_domains`` optionally caps the scaled group count of
+    aggregate ops by detail key (aggregation over an enumerated domain
+    does not grow with SF).
+    """
+    if trace.scale_factor <= 0:
+        raise ValueError("source trace has no scale factor")
+    ratio = target_sf / trace.scale_factor
+
+    scaled = ScaledTrace(
+        query=trace.query,
+        scale_factor=target_sf,
+        source_scale_factor=trace.scale_factor,
+    )
+
+    for (table, column), nbytes in trace.flash_read_bytes.items():
+        factor = 1.0 if table in CONSTANT_TABLES else ratio
+        scaled.flash_read_bytes[(table, column)] = int(nbytes * factor)
+
+    scaled.swap_bytes = int(trace.swap_bytes * ratio)
+
+    for op in trace.ops:
+        factor = ratio
+        if op.op == "scan" and op.detail in CONSTANT_TABLES:
+            factor = 1.0
+        scaled_op = OpTrace(
+            op=op.op,
+            rows_in=int(op.rows_in * factor),
+            rows_out=int(op.rows_out * factor),
+            bytes_in=int(op.bytes_in * factor),
+            bytes_out=int(op.bytes_out * factor),
+            detail=op.detail,
+            groups=int(op.groups * factor),
+            assisted=op.assisted,
+        )
+        if op.op in ("aggregate", "distinct"):
+            # Aggregations over enumerated domains (return flags, ship
+            # modes, nations x years) do not gain groups with SF; the
+            # signature is a group count tiny relative to the input.
+            constant_domain = op.rows_in > 1000 and op.groups <= max(
+                64, int(op.rows_in * 0.001)
+            )
+            if constant_domain:
+                scaled_op.rows_out = op.rows_out
+                scaled_op.groups = op.groups
+                scaled_op.bytes_out = op.bytes_out
+            cap = (
+                group_domains.get(trace.query)
+                if group_domains is not None
+                else None
+            )
+            if cap is not None:
+                scaled_op.rows_out = min(scaled_op.rows_out, cap)
+                scaled_op.groups = min(scaled_op.groups, cap)
+                if scaled_op.rows_in:
+                    per_row = op.bytes_out / max(op.rows_out, 1)
+                    scaled_op.bytes_out = int(per_row * scaled_op.rows_out)
+        scaled.ops.append(scaled_op)
+        scaled.total_intermediate_bytes += scaled_op.bytes_out
+
+    scaled.peak_host_bytes = int(trace.peak_host_bytes * ratio)
+    scaled.aquoman_flash_bytes = int(trace.aquoman_flash_bytes * ratio)
+    scaled.aquoman_sorter_bytes = int(trace.aquoman_sorter_bytes * ratio)
+    scaled.aquoman_dram_peak_bytes = int(
+        trace.aquoman_dram_peak_bytes * ratio
+    )
+    scaled.aquoman_output_bytes = int(trace.aquoman_output_bytes * ratio)
+    scaled.groupby_spill_groups = int(trace.groupby_spill_groups * ratio)
+    scaled.suspended = trace.suspended
+    scaled.suspend_reason = trace.suspend_reason
+    scaled.offload_fraction_rows = trace.offload_fraction_rows
+    return scaled

@@ -1,0 +1,98 @@
+"""Execution traces: what a query *did*, independent of how fast.
+
+Both executors emit the same trace schema:
+
+- per-base-column flash bytes actually touched (after page skipping);
+- per-operator row/byte flows ("work");
+- peak intermediate memory alive at once;
+- AQUOMAN-specific usage (sorter bytes, DRAM footprint, spills,
+  suspension point), filled in by the device model.
+
+The timing models in :mod:`repro.perf.model` consume only these records,
+which is what lets us scale small-SF runs to the paper's SF-1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpTrace:
+    """One operator's data flow during a query."""
+
+    op: str                 # "scan" | "filter" | "join" | "aggregate" | ...
+    rows_in: int
+    rows_out: int
+    bytes_in: int
+    bytes_out: int
+    detail: str = ""
+    # Aggregates: group cardinality (drives the serial-hash penalty) and
+    # whether AQUOMAN pre-hashed the stream (the assisted mode that makes
+    # Q17/Q18 partial offloads profitable).
+    groups: int = 0
+    assisted: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"OpTrace({self.op}, in={self.rows_in}, out={self.rows_out}"
+            + (f", {self.detail}" if self.detail else "")
+            + ")"
+        )
+
+
+@dataclass
+class QueryTrace:
+    """Everything the performance model needs to know about one run."""
+
+    query: str = ""
+    scale_factor: float = 1.0
+
+    # Flash traffic: (table, column) -> bytes read from the device.
+    flash_read_bytes: dict[tuple[str, str], int] = field(default_factory=dict)
+    # Bytes the engine wrote to disk for swap (baseline spills).
+    swap_bytes: int = 0
+
+    ops: list[OpTrace] = field(default_factory=list)
+
+    # Peak bytes of intermediates alive at one time on the host.
+    peak_host_bytes: int = 0
+    # Sum of all intermediate bytes ever produced (avg-RSS proxy).
+    total_intermediate_bytes: int = 0
+
+    # --- AQUOMAN-side usage (zero for pure-host runs) ---
+    aquoman_flash_bytes: int = 0      # streamed through the device pipeline
+    aquoman_sorter_bytes: int = 0     # bytes passed through the sorter
+    aquoman_dram_peak_bytes: int = 0  # intermediate tables in device DRAM
+    aquoman_output_bytes: int = 0     # DMA'd back to the host
+    groupby_spill_groups: int = 0     # Aggregate-GroupBy bucket spills
+    suspended: bool = False           # query handed back to the host
+    suspend_reason: str = ""
+    offload_fraction_rows: float = 0.0  # share of row-work done on device
+
+    def record_flash(self, table: str, column: str, n_bytes: int) -> None:
+        key = (table, column)
+        self.flash_read_bytes[key] = (
+            self.flash_read_bytes.get(key, 0) + n_bytes
+        )
+
+    def record_op(self, op: OpTrace) -> None:
+        self.ops.append(op)
+        self.total_intermediate_bytes += op.bytes_out
+
+    def observe_host_bytes(self, live_bytes: int) -> None:
+        self.peak_host_bytes = max(self.peak_host_bytes, live_bytes)
+
+    @property
+    def total_flash_bytes(self) -> int:
+        return sum(self.flash_read_bytes.values())
+
+    def rows_processed(self) -> int:
+        """Total operator row-work (the CPU-cycle proxy)."""
+        return sum(op.rows_in for op in self.ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTrace({self.query!r}, flash={self.total_flash_bytes}B, "
+            f"ops={len(self.ops)}, peak={self.peak_host_bytes}B)"
+        )

@@ -1,0 +1,61 @@
+"""MonetDB-style columnar storage substrate.
+
+A relational table is a collection of typed column files ("BATs"), each a
+dense array in ascending row order.  Rows are addressed by an *implicit*
+RowID (the array index), which is never materialised on disk.  Strings
+live in a per-column string heap and the column file stores fixed-width
+codes into the heap — the layout AQUOMAN's regex accelerator and
+suspension rules key on.
+
+For every foreign-key column the catalog materialises an extra RowID
+column (a MonetDB "join index") pointing at the referenced table's rows;
+AQUOMAN exploits these to skip joins entirely when a primary key side is
+unfiltered (Sec. VI-D of the paper).
+"""
+
+from repro.storage.types import (
+    BOOL,
+    CHAR,
+    DATE,
+    DECIMAL,
+    FLOAT,
+    INT32,
+    INT64,
+    ColumnType,
+    TypeKind,
+    date_to_days,
+    days_to_date,
+    decimal_to_int,
+    int_to_decimal,
+)
+from repro.storage.stringheap import StringHeap
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog, ForeignKey
+from repro.storage.layout import FlashLayout, ColumnExtent
+from repro.storage.io import load_catalog, save_catalog
+
+__all__ = [
+    "TypeKind",
+    "ColumnType",
+    "INT32",
+    "INT64",
+    "FLOAT",
+    "DECIMAL",
+    "DATE",
+    "CHAR",
+    "BOOL",
+    "date_to_days",
+    "days_to_date",
+    "decimal_to_int",
+    "int_to_decimal",
+    "StringHeap",
+    "Column",
+    "Table",
+    "Catalog",
+    "ForeignKey",
+    "FlashLayout",
+    "ColumnExtent",
+    "save_catalog",
+    "load_catalog",
+]

@@ -1,0 +1,110 @@
+"""A single column file (MonetDB BAT tail).
+
+A column is a dense, typed array in ascending row order, optionally
+backed by a string heap.  Column equality and slicing operate on the raw
+integer representation; helpers decode to logical Python values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.storage.stringheap import StringHeap
+from repro.storage.types import (
+    CHAR,
+    ColumnType,
+    TypeKind,
+    date_to_days,
+    decimal_to_int,
+)
+
+
+class Column:
+    """Typed, named column of fixed-width integer values."""
+
+    __slots__ = ("name", "ctype", "values", "heap")
+
+    def __init__(
+        self,
+        name: str,
+        ctype: ColumnType,
+        values: np.ndarray,
+        heap: StringHeap | None = None,
+    ):
+        if ctype.is_string and heap is None:
+            raise ValueError(f"string column {name!r} requires a heap")
+        if not ctype.is_string and heap is not None:
+            raise ValueError(f"non-string column {name!r} cannot carry a heap")
+        self.name = name
+        self.ctype = ctype
+        self.values = np.asarray(values, dtype=ctype.dtype)
+        self.heap = heap
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def strings(cls, name: str, values: Iterable[str]) -> "Column":
+        """Build a CHAR column, interning values into a fresh heap."""
+        heap, codes = StringHeap.from_values(values)
+        return cls(name, CHAR, codes, heap)
+
+    @classmethod
+    def from_logical(
+        cls, name: str, ctype: ColumnType, values: Sequence
+    ) -> "Column":
+        """Build a column from logical Python values (dates, floats, strs)."""
+        if ctype.is_string:
+            return cls.strings(name, values)
+        if ctype.kind is TypeKind.DECIMAL:
+            raw = np.fromiter(
+                (decimal_to_int(v) for v in values), dtype=np.int64
+            )
+        elif ctype.kind is TypeKind.DATE:
+            raw = np.fromiter(
+                (date_to_days(v) for v in values), dtype=np.int32
+            )
+        else:
+            raw = np.asarray(values, dtype=ctype.dtype)
+        return cls(name, ctype, raw)
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self.values)
+
+    @property
+    def nbytes(self) -> int:
+        """On-flash size of the column file (excluding any string heap)."""
+        return self.nrows * self.ctype.width
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.heap.heap_bytes if self.heap is not None else 0
+
+    def take(self, row_ids: np.ndarray) -> "Column":
+        """Positional gather: a new column of the given rows, in order."""
+        return Column(self.name, self.ctype, self.values[row_ids], self.heap)
+
+    def rename(self, name: str) -> "Column":
+        return Column(name, self.ctype, self.values, self.heap)
+
+    def logical(self) -> list:
+        """Decode the whole column to logical Python values."""
+        if self.ctype.is_string:
+            return self.heap.decode_many(self.values)
+        return [self.ctype.to_python(v) for v in self.values]
+
+    def logical_value(self, row: int):
+        """Decode a single row."""
+        if self.ctype.is_string:
+            return self.heap.decode(int(self.values[row]))
+        return self.ctype.to_python(int(self.values[row]))
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.kind.value}, nrows={self.nrows})"

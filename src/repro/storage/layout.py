@@ -1,0 +1,97 @@
+"""On-flash layout of column files.
+
+AQUOMAN reads tables as *Row Vectors* — 32 consecutive column values —
+fetched from 8 KB flash pages.  The layout maps every column file to a
+contiguous extent of physical pages so that both the host I/O path and
+the Table Reader can translate (table, column, row-vector id) into the
+physical page ids they must request from the flash controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.util.units import KB
+
+PAGE_BYTES = 8 * KB
+ROW_VECTOR_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ColumnExtent:
+    """The physical pages occupied by one column file."""
+
+    table: str
+    column: str
+    first_page: int
+    n_pages: int
+    value_width: int
+    nrows: int
+
+    @property
+    def last_page(self) -> int:
+        return self.first_page + self.n_pages - 1
+
+    def rows_per_page(self) -> int:
+        return PAGE_BYTES // self.value_width
+
+    def pages_for_rows(self, first_row: int, n_rows: int) -> range:
+        """Physical page ids covering rows [first_row, first_row + n_rows)."""
+        if n_rows <= 0:
+            return range(0)
+        per_page = self.rows_per_page()
+        lo = first_row // per_page
+        hi = (first_row + n_rows - 1) // per_page
+        return range(self.first_page + lo, self.first_page + hi + 1)
+
+    def page_for_row_vector(self, row_vector_id: int) -> int:
+        """Physical page holding the given 32-row vector's first value."""
+        per_page = self.rows_per_page()
+        return self.first_page + (row_vector_id * ROW_VECTOR_SIZE) // per_page
+
+
+class FlashLayout:
+    """Assignment of every column file in a catalog to flash pages."""
+
+    def __init__(self, catalog: Catalog):
+        self._extents: dict[tuple[str, str], ColumnExtent] = {}
+        next_page = 0
+        for table_name in catalog.table_names():
+            table = catalog.table(table_name)
+            for col in table.columns:
+                n_pages = max(1, -(-col.nbytes // PAGE_BYTES))
+                extent = ColumnExtent(
+                    table=table_name,
+                    column=col.name,
+                    first_page=next_page,
+                    n_pages=n_pages,
+                    value_width=col.ctype.width,
+                    nrows=col.nrows,
+                )
+                self._extents[(table_name, col.name)] = extent
+                next_page += n_pages
+        self.total_pages = next_page
+
+    def extent(self, table: str, column: str) -> ColumnExtent:
+        try:
+            return self._extents[(table, column)]
+        except KeyError:
+            raise KeyError(f"no extent for {table}.{column}") from None
+
+    def extents(self) -> list[ColumnExtent]:
+        return list(self._extents.values())
+
+    def table_pages(self, table: Table) -> int:
+        """Total pages occupied by a table's column files."""
+        return sum(
+            self._extents[(table.name, c.name)].n_pages for c in table.columns
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * PAGE_BYTES
+
+    def __repr__(self) -> str:
+        return f"FlashLayout(pages={self.total_pages})"

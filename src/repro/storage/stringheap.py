@@ -1,0 +1,91 @@
+"""Dictionary-encoded string heap.
+
+MonetDB stores variable-length strings in a per-column heap file; the
+column file itself holds fixed-width offsets.  We model the heap as a
+dictionary of unique strings: the column stores 32-bit codes, the heap
+stores each distinct string once.
+
+Two heap properties drive AQUOMAN behaviour:
+
+- ``heap_bytes`` — total unique-string payload.  The regex accelerator has
+  a 1 MB cache; columns whose heap exceeds it force the query back to the
+  host (suspension condition 2, Sec. VI-E).
+- small-domain columns (country names, ship modes) fit trivially and can
+  be pre-evaluated to a one-bit column at line rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class StringHeap:
+    """An append-only dictionary of unique strings with stable codes."""
+
+    def __init__(self) -> None:
+        self._strings: list[str] = []
+        self._codes: dict[str, int] = {}
+        self._payload_bytes = 0
+
+    @classmethod
+    def from_values(cls, values: Iterable[str]) -> tuple["StringHeap", np.ndarray]:
+        """Build a heap from a value sequence; return (heap, code array)."""
+        heap = cls()
+        codes = heap.encode_many(values)
+        return heap, codes
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, value: str) -> int:
+        """Return the code for ``value``, interning it if new."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._strings)
+            self._codes[value] = code
+            self._strings.append(value)
+            self._payload_bytes += len(value.encode()) + 1  # NUL-terminated
+        return code
+
+    def encode_many(self, values: Iterable[str]) -> np.ndarray:
+        return np.fromiter(
+            (self.encode(v) for v in values), dtype=np.int32, count=-1
+        )
+
+    def lookup(self, value: str) -> int | None:
+        """Code for an existing string, or None (no interning)."""
+        return self._codes.get(value)
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, code: int) -> str:
+        return self._strings[code]
+
+    def decode_many(self, codes: Sequence[int] | np.ndarray) -> list[str]:
+        strings = self._strings
+        return [strings[int(c)] for c in codes]
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def unique_count(self) -> int:
+        return len(self._strings)
+
+    @property
+    def heap_bytes(self) -> int:
+        """Unique-string payload in bytes (what the 1 MB regex cache holds)."""
+        return self._payload_bytes
+
+    def strings(self) -> list[str]:
+        """All unique strings in code order (a copy)."""
+        return list(self._strings)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._codes
+
+    def __repr__(self) -> str:
+        return f"StringHeap(unique={self.unique_count}, bytes={self._payload_bytes})"

@@ -1,0 +1,130 @@
+"""Relational tables over column files.
+
+Rows are addressed by implicit RowID = array index; the table never
+materialises a RowID column (the paper, Sec. VI-D: "Such a column is
+implicit and does not need to be stored in DRAM or flash").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.storage.column import Column
+
+
+class Table:
+    """An ordered collection of equal-length named columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns in table {name!r}: {lengths}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}")
+        self.name = name
+        self._columns = list(columns)
+        self._by_name = {c.name: c for c in columns}
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns are {self.column_names}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    @property
+    def nrows(self) -> int:
+        return len(self._columns[0])
+
+    @property
+    def nbytes(self) -> int:
+        """On-flash size of all column files (excluding string heaps)."""
+        return sum(c.nbytes for c in self._columns)
+
+    @property
+    def heap_bytes(self) -> int:
+        return sum(c.heap_bytes for c in self._columns)
+
+    # -- transforms -------------------------------------------------------------
+
+    def take(self, row_ids: np.ndarray) -> "Table":
+        """Positional row gather across all columns."""
+        return Table(self.name, [c.take(row_ids) for c in self._columns])
+
+    def select(self, names: Iterable[str]) -> "Table":
+        """Column projection, preserving the given order."""
+        return Table(self.name, [self.column(n) for n in names])
+
+    def with_column(self, column: Column) -> "Table":
+        """A new table with ``column`` appended (or replaced by name)."""
+        cols = [c for c in self._columns if c.name != column.name]
+        return Table(self.name, cols + [column])
+
+    def renamed(self, name: str) -> "Table":
+        return Table(name, self._columns)
+
+    # -- comparison / display ------------------------------------------------------
+
+    def to_rows(self) -> list[tuple]:
+        """Decode the table into logical Python row tuples."""
+        decoded = [c.logical() for c in self._columns]
+        return list(zip(*decoded)) if decoded else []
+
+    def to_dict(self) -> dict[str, list]:
+        return {c.name: c.logical() for c in self._columns}
+
+    def equals(self, other: "Table", *, ordered: bool = True) -> bool:
+        """Logical equality: same columns, same decoded values.
+
+        With ``ordered=False`` rows are compared as multisets, matching
+        SQL's bag semantics for un-ORDER-BY'd results.
+        """
+        if self.column_names != other.column_names:
+            return False
+        mine, theirs = self.to_rows(), other.to_rows()
+        if ordered:
+            return mine == theirs
+        return sorted(map(repr, mine)) == sorted(map(repr, theirs))
+
+    @classmethod
+    def from_mapping(
+        cls, name: str, data: Mapping[str, Column]
+    ) -> "Table":
+        return cls(name, [col.rename(n) for n, col in data.items()])
+
+    def head(self, n: int = 10) -> str:
+        """A plain-text preview of the first ``n`` rows."""
+        rows = self.take(np.arange(min(n, self.nrows))).to_rows()
+        header = " | ".join(self.column_names)
+        lines = [header, "-" * len(header)]
+        lines += [" | ".join(str(v) for v in row) for row in rows]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, nrows={self.nrows}, "
+            f"columns={self.column_names})"
+        )

@@ -1,0 +1,100 @@
+"""Column type system.
+
+AQUOMAN's datapath is integer-only (Table II's PE ISA has no float ops),
+so every SQL type is represented as a fixed-width integer:
+
+- ``INT32`` / ``INT64`` — plain integers.
+- ``DECIMAL`` — fixed-point with two fractional digits, stored as int64
+  hundredths (TPC-H prices/discounts/taxes are all decimal(15,2)).
+- ``DATE`` — int32 days since 1970-01-01.
+- ``CHAR`` — a 32-bit code into a per-column string heap.
+- ``BOOL`` — a 1-byte flag column (the output of the regex accelerator).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+DECIMAL_SCALE = 100
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+class TypeKind(Enum):
+    """The physical interpretation of a column's integer payload."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    DECIMAL = "decimal"
+    DATE = "date"
+    CHAR = "char"
+    BOOL = "bool"
+    FLOAT = "float"  # result-only: post-division values; never on flash
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A column's logical kind plus its physical width and NumPy dtype."""
+
+    kind: TypeKind
+    width: int
+    dtype: np.dtype
+
+    def __repr__(self) -> str:
+        return f"ColumnType({self.kind.value})"
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind is TypeKind.CHAR
+
+    def to_python(self, raw):
+        """Decode one raw value into its logical Python value."""
+        if self.kind is TypeKind.DECIMAL:
+            return int_to_decimal(raw)
+        if self.kind is TypeKind.DATE:
+            return days_to_date(raw)
+        if self.kind is TypeKind.BOOL:
+            return bool(raw)
+        if self.kind is TypeKind.FLOAT:
+            return float(raw)
+        return int(raw)
+
+
+INT32 = ColumnType(TypeKind.INT32, 4, np.dtype(np.int32))
+FLOAT = ColumnType(TypeKind.FLOAT, 8, np.dtype(np.float64))
+INT64 = ColumnType(TypeKind.INT64, 8, np.dtype(np.int64))
+DECIMAL = ColumnType(TypeKind.DECIMAL, 8, np.dtype(np.int64))
+DATE = ColumnType(TypeKind.DATE, 4, np.dtype(np.int32))
+CHAR = ColumnType(TypeKind.CHAR, 4, np.dtype(np.int32))
+BOOL = ColumnType(TypeKind.BOOL, 1, np.dtype(np.int8))
+
+
+def decimal_to_int(value: float | str) -> int:
+    """Encode a decimal number as int64 hundredths.
+
+    >>> decimal_to_int("12.34")
+    1234
+    """
+    if isinstance(value, str):
+        value = float(value)
+    return int(round(value * DECIMAL_SCALE))
+
+
+def int_to_decimal(raw: int) -> float:
+    """Decode int64 hundredths back to a float."""
+    return raw / DECIMAL_SCALE
+
+
+def date_to_days(value: str | _dt.date) -> int:
+    """Encode a date (``'1998-09-01'`` or ``datetime.date``) as epoch days."""
+    if isinstance(value, str):
+        value = _dt.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Decode epoch days back to a ``datetime.date``."""
+    return _EPOCH + _dt.timedelta(days=int(days))

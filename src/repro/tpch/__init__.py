@@ -1,0 +1,22 @@
+"""TPC-H: data generation (dbgen) and all 22 benchmark queries.
+
+``generate(scale_factor)`` builds the eight-table catalog with
+spec-conformant value domains and referential structure; ``query(n)``
+returns query *n*'s logical plan; ``query_params(n)`` documents the
+substitution parameters used (we fix the spec's default parameters so
+results are deterministic).
+"""
+
+from repro.tpch.dbgen import generate
+from repro.tpch.schema import TPCH_TABLES, TableSpec, table_cardinality
+from repro.tpch.queries import ALL_QUERIES, query, query_name
+
+__all__ = [
+    "generate",
+    "TPCH_TABLES",
+    "TableSpec",
+    "table_cardinality",
+    "ALL_QUERIES",
+    "query",
+    "query_name",
+]

@@ -1,0 +1,36 @@
+"""All 22 TPC-H queries as logical-plan builders.
+
+Each ``qNN`` module documents the SQL it implements (with the spec's
+default substitution parameters, so runs are deterministic) and exposes
+``build() -> Plan`` plus a short ``NAME``.
+
+Correlated subqueries are decorrelated the way MonetDB's optimiser
+does — into grouped subplans joined back on their correlation key — so
+the plans here are the shapes AQUOMAN's compiler actually sees.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.sqlir.plan import Plan
+
+_MODULES = {n: f"repro.tpch.queries.q{n:02d}" for n in range(1, 23)}
+
+ALL_QUERIES: tuple[int, ...] = tuple(range(1, 23))
+
+
+def query(number: int) -> Plan:
+    """The logical plan of TPC-H query ``number`` (1-22)."""
+    if number not in _MODULES:
+        raise ValueError(f"TPC-H has queries 1-22, not {number}")
+    module = importlib.import_module(_MODULES[number])
+    return module.build()
+
+
+def query_name(number: int) -> str:
+    """The spec's short name of query ``number``."""
+    if number not in _MODULES:
+        raise ValueError(f"TPC-H has queries 1-22, not {number}")
+    module = importlib.import_module(_MODULES[number])
+    return module.NAME

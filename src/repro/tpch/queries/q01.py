@@ -1,0 +1,63 @@
+"""Q1 — Pricing Summary Report.
+
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity), sum(l_extendedprice),
+       sum(l_extendedprice*(1-l_discount)),
+       sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+       avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+FROM lineitem
+WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus;
+
+(DELTA = 90, the spec's validation value.)
+"""
+
+from repro.sqlir import AggFunc, col, lit_date, scan
+from repro.sqlir.plan import Plan
+
+NAME = "pricing-summary"
+
+
+def build() -> Plan:
+    disc_price = col("l_extendedprice") * (1 - col("l_discount"))
+    charge = disc_price * (1 + col("l_tax"))
+    return (
+        scan(
+            "lineitem",
+            (
+                "l_returnflag",
+                "l_linestatus",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+                "l_shipdate",
+            ),
+        )
+        .filter(col("l_shipdate") <= lit_date("1998-09-02"))
+        .project(
+            l_returnflag=col("l_returnflag"),
+            l_linestatus=col("l_linestatus"),
+            l_quantity=col("l_quantity"),
+            l_extendedprice=col("l_extendedprice"),
+            disc_price=disc_price,
+            charge=charge,
+            l_discount=col("l_discount"),
+        )
+        .aggregate(
+            keys=("l_returnflag", "l_linestatus"),
+            aggs=[
+                ("sum_qty", AggFunc.SUM, col("l_quantity")),
+                ("sum_base_price", AggFunc.SUM, col("l_extendedprice")),
+                ("sum_disc_price", AggFunc.SUM, col("disc_price")),
+                ("sum_charge", AggFunc.SUM, col("charge")),
+                ("avg_qty", AggFunc.AVG, col("l_quantity")),
+                ("avg_price", AggFunc.AVG, col("l_extendedprice")),
+                ("avg_disc", AggFunc.AVG, col("l_discount")),
+                ("count_order", AggFunc.COUNT, None),
+            ],
+        )
+        .sort("l_returnflag", "l_linestatus")
+        .plan
+    )

@@ -1,0 +1,86 @@
+"""Q2 — Minimum Cost Supplier.
+
+Parts of size 15 / type '%BRASS' supplied from EUROPE at the region's
+minimum supply cost.  The correlated min-cost subquery is decorrelated
+into a grouped subplan joined back on ``ps_partkey`` (MonetDB does the
+same rewrite).
+
+Default parameters: SIZE=15, TYPE='BRASS', REGION='EUROPE'.
+"""
+
+from repro.sqlir import AggFunc, col, lit, scan
+from repro.sqlir.expr import Like
+from repro.sqlir.plan import Plan
+from repro.sqlir.builder import desc
+
+NAME = "min-cost-supplier"
+
+
+def _europe_partsupp():
+    """partsupp ⋈ supplier ⋈ nation ⋈ region('EUROPE')."""
+    nations = (
+        scan("nation", ("n_nationkey", "n_name", "n_regionkey"))
+        .join(
+            scan("region", ("r_regionkey", "r_name")).filter(
+                col("r_name") == lit("EUROPE")
+            ),
+            "n_regionkey",
+            "r_regionkey",
+        )
+    )
+    suppliers = (
+        scan(
+            "supplier",
+            (
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
+                "s_comment",
+            ),
+        )
+        .join(nations, "s_nationkey", "n_nationkey")
+    )
+    return (
+        scan("partsupp", ("ps_partkey", "ps_suppkey", "ps_supplycost"))
+        .join(suppliers, "ps_suppkey", "s_suppkey")
+    )
+
+
+def build() -> Plan:
+    europe = _europe_partsupp()
+
+    min_cost = (
+        europe.aggregate(
+            keys=("ps_partkey",),
+            aggs=[("min_cost", AggFunc.MIN, col("ps_supplycost"))],
+        )
+        .project(mc_partkey=col("ps_partkey"), min_cost=col("min_cost"))
+    )
+
+    parts = scan(
+        "part", ("p_partkey", "p_mfgr", "p_size", "p_type")
+    ).filter(
+        (col("p_size") == lit(15)) & Like(col("p_type"), "%BRASS")
+    )
+
+    return (
+        europe.join(parts, "ps_partkey", "p_partkey")
+        .join(min_cost, "ps_partkey", "mc_partkey")
+        .filter(col("ps_supplycost") == col("min_cost"))
+        .project(
+            s_acctbal=col("s_acctbal"),
+            s_name=col("s_name"),
+            n_name=col("n_name"),
+            p_partkey=col("p_partkey"),
+            p_mfgr=col("p_mfgr"),
+            s_address=col("s_address"),
+            s_phone=col("s_phone"),
+            s_comment=col("s_comment"),
+        )
+        .sort(desc("s_acctbal"), "n_name", "s_name", "p_partkey")
+        .limit(100)
+        .plan
+    )

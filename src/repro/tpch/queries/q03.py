@@ -1,0 +1,60 @@
+"""Q3 — Shipping Priority.
+
+SELECT l_orderkey, sum(l_extendedprice*(1-l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15' AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate LIMIT 10;
+"""
+
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.plan import Plan
+
+NAME = "shipping-priority"
+
+
+def build() -> Plan:
+    building_customers = scan(
+        "customer", ("c_custkey", "c_mktsegment")
+    ).filter(col("c_mktsegment") == lit("BUILDING"))
+
+    open_orders = (
+        scan(
+            "orders",
+            ("o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"),
+        )
+        .filter(col("o_orderdate") < lit_date("1995-03-15"))
+        .join(building_customers, "o_custkey", "c_custkey")
+    )
+
+    return (
+        scan(
+            "lineitem",
+            ("l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"),
+        )
+        .filter(col("l_shipdate") > lit_date("1995-03-15"))
+        .join(open_orders, "l_orderkey", "o_orderkey")
+        .project(
+            l_orderkey=col("l_orderkey"),
+            o_orderdate=col("o_orderdate"),
+            o_shippriority=col("o_shippriority"),
+            revenue_item=col("l_extendedprice") * (1 - col("l_discount")),
+        )
+        .aggregate(
+            keys=("l_orderkey", "o_orderdate", "o_shippriority"),
+            aggs=[("revenue", AggFunc.SUM, col("revenue_item"))],
+        )
+        .project(
+            l_orderkey=col("l_orderkey"),
+            revenue=col("revenue"),
+            o_orderdate=col("o_orderdate"),
+            o_shippriority=col("o_shippriority"),
+        )
+        .sort(desc("revenue"), "o_orderdate")
+        .limit(10)
+        .plan
+    )

@@ -1,0 +1,37 @@
+"""Q4 — Order Priority Checking.
+
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= date '1993-07-01'
+  AND o_orderdate < date '1993-10-01'
+  AND EXISTS (SELECT * FROM lineitem
+              WHERE l_orderkey = o_orderkey
+                AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority ORDER BY o_orderpriority;
+"""
+
+from repro.sqlir import AggFunc, JoinKind, col, lit_date, scan
+from repro.sqlir.plan import Plan
+
+NAME = "order-priority"
+
+
+def build() -> Plan:
+    late_lines = scan(
+        "lineitem", ("l_orderkey", "l_commitdate", "l_receiptdate")
+    ).filter(col("l_commitdate") < col("l_receiptdate"))
+
+    return (
+        scan("orders", ("o_orderkey", "o_orderdate", "o_orderpriority"))
+        .filter(
+            (col("o_orderdate") >= lit_date("1993-07-01"))
+            & (col("o_orderdate") < lit_date("1993-10-01"))
+        )
+        .join(late_lines, "o_orderkey", "l_orderkey", kind=JoinKind.SEMI)
+        .aggregate(
+            keys=("o_orderpriority",),
+            aggs=[("order_count", AggFunc.COUNT, None)],
+        )
+        .sort("o_orderpriority")
+        .plan
+    )

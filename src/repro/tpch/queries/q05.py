@@ -1,0 +1,75 @@
+"""Q5 — Local Supplier Volume.
+
+Revenue from lineitems where the customer and the supplier are in the
+same ASIAN nation, for orders placed in 1994.  The c_nationkey =
+s_nationkey condition is the join residual.
+
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01' AND o_orderdate < date '1995-01-01'
+GROUP BY n_name ORDER BY revenue DESC;
+"""
+
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.plan import Plan
+
+NAME = "local-supplier-volume"
+
+
+def build() -> Plan:
+    asian_suppliers = (
+        scan("supplier", ("s_suppkey", "s_nationkey"))
+        .join(
+            scan("nation", ("n_nationkey", "n_name", "n_regionkey")).join(
+                scan("region", ("r_regionkey", "r_name")).filter(
+                    col("r_name") == lit("ASIA")
+                ),
+                "n_regionkey",
+                "r_regionkey",
+            ),
+            "s_nationkey",
+            "n_nationkey",
+        )
+    )
+
+    orders_1994 = (
+        scan("orders", ("o_orderkey", "o_custkey", "o_orderdate"))
+        .filter(
+            (col("o_orderdate") >= lit_date("1994-01-01"))
+            & (col("o_orderdate") < lit_date("1995-01-01"))
+        )
+        .join(
+            scan("customer", ("c_custkey", "c_nationkey")),
+            "o_custkey",
+            "c_custkey",
+        )
+    )
+
+    return (
+        scan(
+            "lineitem",
+            ("l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"),
+        )
+        .join(orders_1994, "l_orderkey", "o_orderkey")
+        .join(
+            asian_suppliers,
+            "l_suppkey",
+            "s_suppkey",
+            residual=col("c_nationkey") == col("s_nationkey"),
+        )
+        .project(
+            n_name=col("n_name"),
+            revenue_item=col("l_extendedprice") * (1 - col("l_discount")),
+        )
+        .aggregate(
+            keys=("n_name",),
+            aggs=[("revenue", AggFunc.SUM, col("revenue_item"))],
+        )
+        .sort(desc("revenue"))
+        .plan
+    )

@@ -1,0 +1,33 @@
+"""Q6 — Forecasting Revenue Change.
+
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01'
+  AND l_shipdate < date '1995-01-01'
+  AND l_discount BETWEEN 0.06 - 0.01 AND 0.06 + 0.01
+  AND l_quantity < 24;
+"""
+
+from repro.sqlir import AggFunc, col, lit_date, lit_decimal, scan
+from repro.sqlir.plan import Plan
+
+NAME = "forecast-revenue"
+
+
+def build() -> Plan:
+    return (
+        scan(
+            "lineitem",
+            ("l_shipdate", "l_discount", "l_quantity", "l_extendedprice"),
+        )
+        .filter(
+            (col("l_shipdate") >= lit_date("1994-01-01"))
+            & (col("l_shipdate") < lit_date("1995-01-01"))
+            & (col("l_discount") >= lit_decimal(0.05))
+            & (col("l_discount") <= lit_decimal(0.07))
+            & (col("l_quantity") < lit_decimal(24.0))
+        )
+        .project(revenue_item=col("l_extendedprice") * col("l_discount"))
+        .aggregate(aggs=[("revenue", AggFunc.SUM, col("revenue_item"))])
+        .plan
+    )

@@ -1,0 +1,90 @@
+"""Q8 — National Market Share.
+
+BRAZIL's share of AMERICA's revenue for ECONOMY ANODIZED STEEL parts,
+by order year.  The share is a per-group ratio of two sums: the CASE'd
+Brazil volume over the total volume.
+"""
+
+from repro.sqlir import AggFunc, ExtractYear, col, lit, lit_date, scan
+from repro.sqlir.expr import CaseWhen, lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "national-market-share"
+
+
+def build() -> Plan:
+    # Customers in region AMERICA (their nation name is irrelevant).
+    america_customers = (
+        scan("customer", ("c_custkey", "c_nationkey"))
+        .join(
+            scan("nation", ("n_nationkey", "n_regionkey")).join(
+                scan("region", ("r_regionkey", "r_name")).filter(
+                    col("r_name") == lit("AMERICA")
+                ),
+                "n_regionkey",
+                "r_regionkey",
+            ),
+            "c_nationkey",
+            "n_nationkey",
+        )
+    )
+    orders = (
+        scan("orders", ("o_orderkey", "o_custkey", "o_orderdate"))
+        .filter(
+            (col("o_orderdate") >= lit_date("1995-01-01"))
+            & (col("o_orderdate") <= lit_date("1996-12-31"))
+        )
+        .join(america_customers, "o_custkey", "c_custkey")
+    )
+
+    # Suppliers with their nation *name* (aliased n2 in the SQL).
+    suppliers = scan("supplier", ("s_suppkey", "s_nationkey")).join(
+        scan("nation", ("n_nationkey", "n_name")).project(
+            n2_nationkey=col("n_nationkey"), supp_nation=col("n_name")
+        ),
+        "s_nationkey",
+        "n2_nationkey",
+    )
+
+    steel_parts = scan("part", ("p_partkey", "p_type")).filter(
+        col("p_type") == lit("ECONOMY ANODIZED STEEL")
+    )
+
+    volume = col("l_extendedprice") * (1 - col("l_discount"))
+    return (
+        scan(
+            "lineitem",
+            (
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_extendedprice",
+                "l_discount",
+            ),
+        )
+        .join(steel_parts, "l_partkey", "p_partkey")
+        .join(suppliers, "l_suppkey", "s_suppkey")
+        .join(orders, "l_orderkey", "o_orderkey")
+        .project(
+            o_year=ExtractYear(col("o_orderdate")),
+            volume=volume,
+            brazil_volume=CaseWhen(
+                col("supp_nation") == lit("BRAZIL"),
+                volume,
+                lit_decimal(0.0, 4),
+            ),
+        )
+        .aggregate(
+            keys=("o_year",),
+            aggs=[
+                ("sum_brazil", AggFunc.SUM, col("brazil_volume")),
+                ("sum_volume", AggFunc.SUM, col("volume")),
+            ],
+        )
+        .project(
+            o_year=col("o_year"),
+            mkt_share=col("sum_brazil") / col("sum_volume"),
+        )
+        .sort("o_year")
+        .plan
+    )

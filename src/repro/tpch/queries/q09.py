@@ -1,0 +1,78 @@
+"""Q9 — Product Type Profit Measure.
+
+Profit per nation per year on green parts.  The lineitem→partsupp join
+is on the composite key (partkey, suppkey); like MonetDB, we combine it
+into one surrogate key column (partkey * 10^8 + suppkey — suppkeys are
+< 10^8 at any realistic SF).
+"""
+
+from repro.sqlir import AggFunc, ExtractYear, col, lit, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.expr import Like
+from repro.sqlir.plan import Plan
+from repro.sqlir.builder import SortKey
+
+NAME = "product-type-profit"
+
+KEY_COMBINE = 100_000_000
+
+
+def build() -> Plan:
+    green_parts = scan("part", ("p_partkey", "p_name")).filter(
+        Like(col("p_name"), "%green%")
+    )
+
+    partsupp = scan(
+        "partsupp", ("ps_partkey", "ps_suppkey", "ps_supplycost")
+    ).project(
+        ps_key=col("ps_partkey") * KEY_COMBINE + col("ps_suppkey"),
+        ps_supplycost=col("ps_supplycost"),
+    )
+
+    suppliers = scan("supplier", ("s_suppkey", "s_nationkey")).join(
+        scan("nation", ("n_nationkey", "n_name")),
+        "s_nationkey",
+        "n_nationkey",
+    )
+
+    orders = scan("orders", ("o_orderkey", "o_orderdate"))
+
+    return (
+        scan(
+            "lineitem",
+            (
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+            ),
+        )
+        .join(green_parts, "l_partkey", "p_partkey")
+        .project_items(
+            [
+                ("l_orderkey", col("l_orderkey")),
+                ("l_suppkey", col("l_suppkey")),
+                ("l_key", col("l_partkey") * KEY_COMBINE + col("l_suppkey")),
+                ("l_quantity", col("l_quantity")),
+                ("l_extendedprice", col("l_extendedprice")),
+                ("l_discount", col("l_discount")),
+            ]
+        )
+        .join(partsupp, "l_key", "ps_key")
+        .join(suppliers, "l_suppkey", "s_suppkey")
+        .join(orders, "l_orderkey", "o_orderkey")
+        .project(
+            nation=col("n_name"),
+            o_year=ExtractYear(col("o_orderdate")),
+            amount=col("l_extendedprice") * (1 - col("l_discount"))
+            - col("ps_supplycost") * col("l_quantity"),
+        )
+        .aggregate(
+            keys=("nation", "o_year"),
+            aggs=[("sum_profit", AggFunc.SUM, col("amount"))],
+        )
+        .sort("nation", SortKey("o_year", ascending=False))
+        .plan
+    )

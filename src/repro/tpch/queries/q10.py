@@ -1,0 +1,84 @@
+"""Q10 — Returned Item Reporting.
+
+Top 20 customers by revenue lost to returned items for Q4-1993 orders.
+"""
+
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.plan import Plan
+
+NAME = "returned-items"
+
+
+def build() -> Plan:
+    orders = (
+        scan("orders", ("o_orderkey", "o_custkey", "o_orderdate"))
+        .filter(
+            (col("o_orderdate") >= lit_date("1993-10-01"))
+            & (col("o_orderdate") < lit_date("1994-01-01"))
+        )
+        .join(
+            scan(
+                "customer",
+                (
+                    "c_custkey",
+                    "c_name",
+                    "c_acctbal",
+                    "c_address",
+                    "c_nationkey",
+                    "c_phone",
+                    "c_comment",
+                ),
+            ).join(
+                scan("nation", ("n_nationkey", "n_name")),
+                "c_nationkey",
+                "n_nationkey",
+            ),
+            "o_custkey",
+            "c_custkey",
+        )
+    )
+
+    return (
+        scan(
+            "lineitem",
+            ("l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"),
+        )
+        .filter(col("l_returnflag") == lit("R"))
+        .join(orders, "l_orderkey", "o_orderkey")
+        .project(
+            c_custkey=col("c_custkey"),
+            c_name=col("c_name"),
+            c_acctbal=col("c_acctbal"),
+            c_phone=col("c_phone"),
+            n_name=col("n_name"),
+            c_address=col("c_address"),
+            c_comment=col("c_comment"),
+            revenue_item=col("l_extendedprice") * (1 - col("l_discount")),
+        )
+        .aggregate(
+            keys=(
+                "c_custkey",
+                "c_name",
+                "c_acctbal",
+                "c_phone",
+                "n_name",
+                "c_address",
+                "c_comment",
+            ),
+            aggs=[("revenue", AggFunc.SUM, col("revenue_item"))],
+        )
+        .project(
+            c_custkey=col("c_custkey"),
+            c_name=col("c_name"),
+            revenue=col("revenue"),
+            c_acctbal=col("c_acctbal"),
+            n_name=col("n_name"),
+            c_address=col("c_address"),
+            c_phone=col("c_phone"),
+            c_comment=col("c_comment"),
+        )
+        .sort(desc("revenue"))
+        .limit(20)
+        .plan
+    )

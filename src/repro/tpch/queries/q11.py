@@ -1,0 +1,58 @@
+"""Q11 — Important Stock Identification.
+
+German stock whose value exceeds 0.0001 of the total German stock
+value.  The threshold is an uncorrelated scalar subquery, the paper's
+"Aggregate Group-By in the middle of the plan" suspension case
+(Sec. VI-E: the HAVING over a grouped value breaks flash references).
+"""
+
+from repro.sqlir import AggFunc, ScalarSubquery, col, lit, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.expr import lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "important-stock"
+
+FRACTION = 0.0001
+
+
+def _german_partsupp():
+    return (
+        scan("partsupp", ("ps_partkey", "ps_suppkey", "ps_availqty",
+                          "ps_supplycost"))
+        .join(
+            scan("supplier", ("s_suppkey", "s_nationkey")).join(
+                scan("nation", ("n_nationkey", "n_name")).filter(
+                    col("n_name") == lit("GERMANY")
+                ),
+                "s_nationkey",
+                "n_nationkey",
+            ),
+            "ps_suppkey",
+            "s_suppkey",
+        )
+        .project(
+            ps_partkey=col("ps_partkey"),
+            stock_value=col("ps_supplycost") * col("ps_availqty"),
+        )
+    )
+
+
+def build() -> Plan:
+    threshold = ScalarSubquery(
+        _german_partsupp()
+        .aggregate(aggs=[("total", AggFunc.SUM, col("stock_value"))])
+        .project(threshold=col("total") * lit_decimal(FRACTION, 6))
+        .plan
+    )
+
+    return (
+        _german_partsupp()
+        .aggregate(
+            keys=("ps_partkey",),
+            aggs=[("value", AggFunc.SUM, col("stock_value"))],
+            having=col("value") > threshold,
+        )
+        .sort(desc("value"))
+        .plan
+    )

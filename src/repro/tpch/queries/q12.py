@@ -1,0 +1,63 @@
+"""Q12 — Shipping Modes and Order Priority.
+
+SELECT l_shipmode,
+       sum(case when o_orderpriority in ('1-URGENT','2-HIGH')
+                then 1 else 0 end) AS high_line_count,
+       sum(case when o_orderpriority not in ('1-URGENT','2-HIGH')
+                then 1 else 0 end) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01'
+  AND l_receiptdate < date '1995-01-01'
+GROUP BY l_shipmode ORDER BY l_shipmode;
+"""
+
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir.expr import CaseWhen, InList
+from repro.sqlir.plan import Plan
+
+NAME = "shipping-modes"
+
+
+def build() -> Plan:
+    high = InList(col("o_orderpriority"), ("1-URGENT", "2-HIGH"))
+    return (
+        scan(
+            "lineitem",
+            (
+                "l_orderkey",
+                "l_shipmode",
+                "l_shipdate",
+                "l_commitdate",
+                "l_receiptdate",
+            ),
+        )
+        .filter(
+            InList(col("l_shipmode"), ("MAIL", "SHIP"))
+            & (col("l_commitdate") < col("l_receiptdate"))
+            & (col("l_shipdate") < col("l_commitdate"))
+            & (col("l_receiptdate") >= lit_date("1994-01-01"))
+            & (col("l_receiptdate") < lit_date("1995-01-01"))
+        )
+        .join(
+            scan("orders", ("o_orderkey", "o_orderpriority")),
+            "l_orderkey",
+            "o_orderkey",
+        )
+        .project(
+            l_shipmode=col("l_shipmode"),
+            high_line=CaseWhen(high, lit(1), lit(0)),
+            low_line=CaseWhen(high, lit(0), lit(1)),
+        )
+        .aggregate(
+            keys=("l_shipmode",),
+            aggs=[
+                ("high_line_count", AggFunc.SUM, col("high_line")),
+                ("low_line_count", AggFunc.SUM, col("low_line")),
+            ],
+        )
+        .sort("l_shipmode")
+        .plan
+    )

@@ -1,0 +1,44 @@
+"""Q14 — Promotion Effect.
+
+SELECT 100.00 * sum(case when p_type like 'PROMO%'
+                         then l_extendedprice*(1-l_discount) else 0 end)
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '1995-09-01' AND l_shipdate < date '1995-10-01';
+"""
+
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir.expr import CaseWhen, Like, lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "promotion-effect"
+
+
+def build() -> Plan:
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    return (
+        scan("lineitem", ("l_partkey", "l_shipdate", "l_extendedprice",
+                          "l_discount"))
+        .filter(
+            (col("l_shipdate") >= lit_date("1995-09-01"))
+            & (col("l_shipdate") < lit_date("1995-10-01"))
+        )
+        .join(scan("part", ("p_partkey", "p_type")), "l_partkey", "p_partkey")
+        .project(
+            promo_item=CaseWhen(
+                Like(col("p_type"), "PROMO%"), revenue, lit_decimal(0.0, 4)
+            ),
+            revenue_item=revenue,
+        )
+        .aggregate(
+            aggs=[
+                ("sum_promo", AggFunc.SUM, col("promo_item")),
+                ("sum_revenue", AggFunc.SUM, col("revenue_item")),
+            ]
+        )
+        .project(
+            promo_revenue=lit(100) * col("sum_promo") / col("sum_revenue")
+        )
+        .plan
+    )

@@ -1,0 +1,57 @@
+"""Q15 — Top Supplier.
+
+The supplier(s) with the maximum revenue in Q1-1996.  The revenue view
+appears twice: once joined to supplier, once reduced to its max inside
+a scalar subquery.
+"""
+
+from repro.sqlir import AggFunc, ScalarSubquery, col, lit_date, scan
+from repro.sqlir.plan import Plan
+
+NAME = "top-supplier"
+
+DATE_LO = lit_date("1996-01-01")
+DATE_HI = lit_date("1996-04-01")
+
+
+def _revenue_view():
+    return (
+        scan(
+            "lineitem",
+            ("l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"),
+        )
+        .filter(
+            (col("l_shipdate") >= DATE_LO) & (col("l_shipdate") < DATE_HI)
+        )
+        .project(
+            supplier_no=col("l_suppkey"),
+            revenue_item=col("l_extendedprice") * (1 - col("l_discount")),
+        )
+        .aggregate(
+            keys=("supplier_no",),
+            aggs=[("total_revenue", AggFunc.SUM, col("revenue_item"))],
+        )
+    )
+
+
+def build() -> Plan:
+    max_revenue = ScalarSubquery(
+        _revenue_view()
+        .aggregate(aggs=[("max_revenue", AggFunc.MAX, col("total_revenue"))])
+        .plan
+    )
+
+    return (
+        scan("supplier", ("s_suppkey", "s_name", "s_address", "s_phone"))
+        .join(_revenue_view(), "s_suppkey", "supplier_no")
+        .filter(col("total_revenue") == max_revenue)
+        .project(
+            s_suppkey=col("s_suppkey"),
+            s_name=col("s_name"),
+            s_address=col("s_address"),
+            s_phone=col("s_phone"),
+            total_revenue=col("total_revenue"),
+        )
+        .sort("s_suppkey")
+        .plan
+    )

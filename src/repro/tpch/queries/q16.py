@@ -1,0 +1,45 @@
+"""Q16 — Parts/Supplier Relationship.
+
+Supplier counts per (brand, type, size) for parts *not* of Brand#45 /
+MEDIUM POLISHED type / eight given sizes, excluding suppliers with
+customer complaints (an anti join on the complaint subquery).
+"""
+
+from repro.sqlir import AggFunc, JoinKind, col, lit, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.expr import InList, Like
+from repro.sqlir.plan import Plan
+
+NAME = "parts-supplier-relationship"
+
+SIZES = (49, 14, 23, 45, 19, 3, 36, 9)
+
+
+def build() -> Plan:
+    complained = scan("supplier", ("s_suppkey", "s_comment")).filter(
+        Like(col("s_comment"), "%Customer%Complaints%")
+    )
+
+    parts = scan("part", ("p_partkey", "p_brand", "p_type", "p_size")).filter(
+        (col("p_brand") != lit("Brand#45"))
+        & Like(col("p_type"), "MEDIUM POLISHED%", negated=True)
+        & InList(col("p_size"), SIZES)
+    )
+
+    return (
+        scan("partsupp", ("ps_partkey", "ps_suppkey"))
+        .join(complained, "ps_suppkey", "s_suppkey", kind=JoinKind.ANTI)
+        .join(parts, "ps_partkey", "p_partkey")
+        .aggregate(
+            keys=("p_brand", "p_type", "p_size"),
+            aggs=[
+                (
+                    "supplier_cnt",
+                    AggFunc.COUNT_DISTINCT,
+                    col("ps_suppkey"),
+                )
+            ],
+        )
+        .sort(desc("supplier_cnt"), "p_brand", "p_type", "p_size")
+        .plan
+    )

@@ -1,0 +1,46 @@
+"""Q17 — Small-Quantity-Order Revenue.
+
+Average yearly revenue lost if small-quantity orders of Brand#23 /
+MED BOX parts were not filled.  The correlated per-part average is
+decorrelated into a grouped subplan — the paper's canonical "Aggregate
+Group-By in the middle of the plan" suspension case for AQUOMAN.
+"""
+
+from repro.sqlir import AggFunc, col, lit, scan
+from repro.sqlir.expr import lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "small-quantity-revenue"
+
+
+def build() -> Plan:
+    avg_qty = (
+        scan("lineitem", ("l_partkey", "l_quantity"))
+        .aggregate(
+            keys=("l_partkey",),
+            aggs=[("avg_qty", AggFunc.AVG, col("l_quantity"))],
+        )
+        .project(
+            aq_partkey=col("l_partkey"),
+            qty_threshold=lit_decimal(0.2, 2) * col("avg_qty"),
+        )
+    )
+
+    boxed_parts = scan(
+        "part", ("p_partkey", "p_brand", "p_container")
+    ).filter(
+        (col("p_brand") == lit("Brand#23"))
+        & (col("p_container") == lit("MED BOX"))
+    )
+
+    return (
+        scan("lineitem", ("l_partkey", "l_quantity", "l_extendedprice"))
+        .join(boxed_parts, "l_partkey", "p_partkey")
+        .join(avg_qty, "l_partkey", "aq_partkey")
+        .filter(col("l_quantity") < col("qty_threshold"))
+        .aggregate(
+            aggs=[("sum_price", AggFunc.SUM, col("l_extendedprice"))]
+        )
+        .project(avg_yearly=col("sum_price") / lit(7))
+        .plan
+    )

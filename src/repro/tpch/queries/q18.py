@@ -1,0 +1,57 @@
+"""Q18 — Large Volume Customer.
+
+Customers with orders totalling more than 300 units.  The IN-subquery
+over grouped lineitem becomes a semi join against the big-quantity
+order keys — the paper's Q18 is the extreme Aggregate-GroupBy spill
+case (~1.5 billion groups against AQUOMAN's 1024 buckets).
+"""
+
+from repro.sqlir import AggFunc, JoinKind, col, lit, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.expr import lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "large-volume-customer"
+
+
+def build() -> Plan:
+    big_orders = (
+        scan("lineitem", ("l_orderkey", "l_quantity"))
+        .aggregate(
+            keys=("l_orderkey",),
+            aggs=[("total_qty", AggFunc.SUM, col("l_quantity"))],
+            having=col("total_qty") > lit_decimal(300.0),
+        )
+        .project(bo_orderkey=col("l_orderkey"))
+    )
+
+    return (
+        scan(
+            "orders",
+            ("o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"),
+        )
+        .join(big_orders, "o_orderkey", "bo_orderkey", kind=JoinKind.SEMI)
+        .join(
+            scan("customer", ("c_custkey", "c_name")),
+            "o_custkey",
+            "c_custkey",
+        )
+        .join(
+            scan("lineitem", ("l_orderkey", "l_quantity")),
+            "o_orderkey",
+            "l_orderkey",
+        )
+        .aggregate(
+            keys=(
+                "c_name",
+                "c_custkey",
+                "o_orderkey",
+                "o_orderdate",
+                "o_totalprice",
+            ),
+            aggs=[("sum_qty", AggFunc.SUM, col("l_quantity"))],
+        )
+        .sort(desc("o_totalprice"), "o_orderdate")
+        .limit(100)
+        .plan
+    )

@@ -1,0 +1,64 @@
+"""Q19 — Discounted Revenue.
+
+Three OR'd brand/container/quantity/size branches over lineitem⋈part,
+with shared shipmode/shipinstruct conditions.  A single join followed
+by one wide disjunctive filter — the paper's example of a predicate too
+wide for the Row Selector alone (it spills into the Row Transformer).
+"""
+
+from repro.sqlir import AggFunc, col, lit, scan
+from repro.sqlir.expr import InList, lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "discounted-revenue"
+
+
+def _branch(brand: str, containers: tuple, qty_lo: int, size_hi: int):
+    return (
+        (col("p_brand") == lit(brand))
+        & InList(col("p_container"), containers)
+        & (col("l_quantity") >= lit_decimal(float(qty_lo)))
+        & (col("l_quantity") <= lit_decimal(float(qty_lo + 10)))
+        & (col("p_size") >= lit(1))
+        & (col("p_size") <= lit(size_hi))
+    )
+
+
+def build() -> Plan:
+    branches = _branch(
+        "Brand#12", ("SM CASE", "SM BOX", "SM PACK", "SM PKG"), 1, 5
+    ) | _branch(
+        "Brand#23", ("MED BAG", "MED BOX", "MED PKG", "MED PACK"), 10, 10
+    ) | _branch(
+        "Brand#34", ("LG CASE", "LG BOX", "LG PACK", "LG PKG"), 20, 15
+    )
+
+    common = InList(col("l_shipmode"), ("AIR", "AIR REG")) & (
+        col("l_shipinstruct") == lit("DELIVER IN PERSON")
+    )
+
+    return (
+        scan(
+            "lineitem",
+            (
+                "l_partkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_shipinstruct",
+                "l_shipmode",
+            ),
+        )
+        .filter(common)
+        .join(
+            scan("part", ("p_partkey", "p_brand", "p_size", "p_container")),
+            "l_partkey",
+            "p_partkey",
+        )
+        .filter(branches)
+        .project(
+            revenue_item=col("l_extendedprice") * (1 - col("l_discount"))
+        )
+        .aggregate(aggs=[("revenue", AggFunc.SUM, col("revenue_item"))])
+        .plan
+    )

@@ -1,0 +1,74 @@
+"""Q20 — Potential Part Promotion.
+
+Canadian suppliers holding excess stock (availqty > half of their 1994
+shipments) of forest-colored parts.  The correlated half-of-shipments
+subquery decorrelates into a (partkey, suppkey)-grouped subplan joined
+back on the combined surrogate key.
+"""
+
+from repro.sqlir import AggFunc, JoinKind, col, lit, lit_date, scan
+from repro.sqlir.expr import Like, lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "potential-part-promotion"
+
+KEY_COMBINE = 100_000_000
+
+
+def build() -> Plan:
+    forest_parts = scan("part", ("p_partkey", "p_name")).filter(
+        Like(col("p_name"), "forest%")
+    )
+
+    shipped_1994 = (
+        scan("lineitem", ("l_partkey", "l_suppkey", "l_quantity",
+                          "l_shipdate"))
+        .filter(
+            (col("l_shipdate") >= lit_date("1994-01-01"))
+            & (col("l_shipdate") < lit_date("1995-01-01"))
+        )
+        .project(
+            sh_key=col("l_partkey") * KEY_COMBINE + col("l_suppkey"),
+            l_quantity=col("l_quantity"),
+        )
+        .aggregate(
+            keys=("sh_key",),
+            aggs=[("sum_qty", AggFunc.SUM, col("l_quantity"))],
+        )
+        .project(
+            sh_key=col("sh_key"),
+            half_qty=lit_decimal(0.5, 2) * col("sum_qty"),
+        )
+    )
+
+    excess_partsupp = (
+        scan("partsupp", ("ps_partkey", "ps_suppkey", "ps_availqty"))
+        .join(forest_parts, "ps_partkey", "p_partkey", kind=JoinKind.SEMI)
+        .project(
+            ps_suppkey=col("ps_suppkey"),
+            ps_availqty=col("ps_availqty"),
+            ps_key=col("ps_partkey") * KEY_COMBINE + col("ps_suppkey"),
+        )
+        .join(shipped_1994, "ps_key", "sh_key")
+        .filter(col("ps_availqty") > col("half_qty"))
+    )
+
+    canada_suppliers = (
+        scan("supplier", ("s_suppkey", "s_name", "s_address", "s_nationkey"))
+        .join(
+            scan("nation", ("n_nationkey", "n_name")).filter(
+                col("n_name") == lit("CANADA")
+            ),
+            "s_nationkey",
+            "n_nationkey",
+        )
+    )
+
+    return (
+        canada_suppliers.join(
+            excess_partsupp, "s_suppkey", "ps_suppkey", kind=JoinKind.SEMI
+        )
+        .project(s_name=col("s_name"), s_address=col("s_address"))
+        .sort("s_name")
+        .plan
+    )

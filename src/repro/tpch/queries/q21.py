@@ -1,0 +1,79 @@
+"""Q21 — Suppliers Who Kept Orders Waiting.
+
+Saudi suppliers who were the *only* late supplier on a multi-supplier
+finalised order.  The EXISTS becomes a semi join (another supplier on
+the order), the NOT EXISTS an anti join (another *late* supplier), both
+with a suppkey-inequality residual.
+"""
+
+from repro.sqlir import AggFunc, JoinKind, col, lit, scan
+from repro.sqlir.builder import desc
+from repro.sqlir.plan import Plan
+
+NAME = "suppliers-kept-waiting"
+
+
+def build() -> Plan:
+    saudi_suppliers = (
+        scan("supplier", ("s_suppkey", "s_name", "s_nationkey"))
+        .join(
+            scan("nation", ("n_nationkey", "n_name")).filter(
+                col("n_name") == lit("SAUDI ARABIA")
+            ),
+            "s_nationkey",
+            "n_nationkey",
+        )
+    )
+
+    final_orders = scan("orders", ("o_orderkey", "o_orderstatus")).filter(
+        col("o_orderstatus") == lit("F")
+    )
+
+    # l1: late lines of finalised orders by Saudi suppliers.
+    l1 = (
+        scan(
+            "lineitem",
+            ("l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"),
+        )
+        .filter(col("l_receiptdate") > col("l_commitdate"))
+        .join(final_orders, "l_orderkey", "o_orderkey")
+        .join(saudi_suppliers, "l_suppkey", "s_suppkey")
+    )
+
+    # l2: any line of the same order from a different supplier.
+    other_lines = scan("lineitem", ("l_orderkey", "l_suppkey")).project(
+        l2_orderkey=col("l_orderkey"), l2_suppkey=col("l_suppkey")
+    )
+    # l3: a *late* line of the same order from a different supplier.
+    other_late_lines = (
+        scan(
+            "lineitem",
+            ("l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"),
+        )
+        .filter(col("l_receiptdate") > col("l_commitdate"))
+        .project(l3_orderkey=col("l_orderkey"), l3_suppkey=col("l_suppkey"))
+    )
+
+    return (
+        l1.join(
+            other_lines,
+            "l_orderkey",
+            "l2_orderkey",
+            kind=JoinKind.SEMI,
+            residual=col("l2_suppkey") != col("l_suppkey"),
+        )
+        .join(
+            other_late_lines,
+            "l_orderkey",
+            "l3_orderkey",
+            kind=JoinKind.ANTI,
+            residual=col("l3_suppkey") != col("l_suppkey"),
+        )
+        .aggregate(
+            keys=("s_name",),
+            aggs=[("numwait", AggFunc.COUNT, None)],
+        )
+        .sort(desc("numwait"), "s_name")
+        .limit(100)
+        .plan
+    )

@@ -1,0 +1,63 @@
+"""Q22 — Global Sales Opportunity.
+
+Well-funded customers (acctbal above the positive-balance average of
+their country-code cohort) in seven country codes, with no orders in
+seven years — an anti join against orders plus a scalar subquery for
+the average.
+"""
+
+from repro.sqlir import (
+    AggFunc,
+    JoinKind,
+    ScalarSubquery,
+    Substring,
+    col,
+    scan,
+)
+from repro.sqlir.expr import InList, lit_decimal
+from repro.sqlir.plan import Plan
+
+NAME = "global-sales-opportunity"
+
+CODES = ("13", "31", "23", "29", "30", "18", "17")
+
+
+def _coded_customers():
+    return (
+        scan("customer", ("c_custkey", "c_phone", "c_acctbal"))
+        .project(
+            c_custkey=col("c_custkey"),
+            c_acctbal=col("c_acctbal"),
+            cntrycode=Substring(col("c_phone"), 1, 2),
+        )
+        .filter(InList(col("cntrycode"), CODES))
+    )
+
+
+def build() -> Plan:
+    avg_positive = ScalarSubquery(
+        _coded_customers()
+        .filter(col("c_acctbal") > lit_decimal(0.0))
+        .aggregate(aggs=[("avg_bal", AggFunc.AVG, col("c_acctbal"))])
+        .plan
+    )
+
+    return (
+        _coded_customers()
+        .filter(col("c_acctbal") > avg_positive)
+        .join(
+            scan("orders", ("o_custkey",)),
+            "c_custkey",
+            "o_custkey",
+            kind=JoinKind.ANTI,
+        )
+        .aggregate(
+            keys=("cntrycode",),
+            aggs=[
+                ("numcust", AggFunc.COUNT, None),
+                ("totacctbal", AggFunc.SUM, col("c_acctbal")),
+            ],
+        )
+        .sort("cntrycode")
+        .plan
+    )

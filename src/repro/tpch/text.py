@@ -1,0 +1,97 @@
+"""Pseudo-text columns: comments, names, addresses, phones.
+
+The real dbgen generates comments from a 300-word grammar; what matters
+to the benchmark is (a) realistic heap sizes and (b) the handful of
+marker substrings the queries grep for (Q13 ``special ... requests``,
+Q16 ``Customer ... Complaints``).  We generate word salad from the
+spec's vocabulary and inject those markers at the spec's approximate
+frequencies, which preserves both properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+# A slice of dbgen's actual vocabulary (nouns/verbs/adjectives/adverbs).
+WORDS = (
+    "foxes ideas theodolites pinto beans instructions dependencies "
+    "excuses platelets asymptotes courts dolphins multipliers sauternes "
+    "warthogs frets dinos attainments somas braids hockey players "
+    "accounts packages requests deposits payments epitaphs grouches "
+    "escapades hares tithes waters orbits gifts sheaves depths "
+    "sentiments decoys realms pearls wolves braids blithely carefully "
+    "quickly slyly furiously fluffily express regular special pending "
+    "unusual ironic silent final bold even dogged dugouts notornis "
+    "daring instructions affix detect integrate cajole engage haggle "
+    "hinder hang impress nag poach wake run sleep boost doze doubt"
+).split()
+
+# Q13 excludes orders whose comment matches '%special%requests%'.
+SPECIAL_REQUESTS_RATE = 0.05
+# Q16 excludes suppliers whose comment matches '%Customer%Complaints%'.
+CUSTOMER_COMPLAINTS_RATE = 0.005
+
+
+def comments(
+    rng: RngStream,
+    count: int,
+    min_words: int = 4,
+    max_words: int = 10,
+    marker: tuple[str, str] | None = None,
+    marker_rate: float = 0.0,
+) -> list[str]:
+    """Generate ``count`` comment strings, injecting a marker word pair
+    (e.g. ``('special', 'requests')``) into a ``marker_rate`` fraction."""
+    lengths = rng.integers(min_words, max_words, size=count)
+    word_idx = rng.integers(0, len(WORDS) - 1, size=int(lengths.sum()))
+    inject = (
+        rng.uniform(0.0, 1.0, size=count) < marker_rate
+        if marker is not None
+        else np.zeros(count, dtype=bool)
+    )
+    out: list[str] = []
+    cursor = 0
+    for i in range(count):
+        n = int(lengths[i])
+        words = [WORDS[j] for j in word_idx[cursor : cursor + n]]
+        cursor += n
+        if inject[i]:
+            first, second = marker
+            mid = max(1, n // 2)
+            words = words[:mid] + [first] + words[mid:] + [second]
+        out.append(" ".join(words))
+    return out
+
+
+def phone_numbers(rng: RngStream, nation_keys: np.ndarray) -> list[str]:
+    """Spec-format phones: country code = nation key + 10."""
+    count = len(nation_keys)
+    local = rng.integers(100, 999, size=(count, 2))
+    last = rng.integers(1000, 9999, size=count)
+    return [
+        f"{int(nk) + 10}-{int(a)}-{int(b)}-{int(c)}"
+        for nk, (a, b), c in zip(nation_keys, local, last)
+    ]
+
+
+def addresses(rng: RngStream, count: int) -> list[str]:
+    """Opaque address strings of spec-like length (10-40 chars)."""
+    lengths = rng.integers(10, 40, size=count)
+    alphabet = np.array(list("abcdefghijklmnopqrstuvwxyz0123456789 ,"))
+    chars = rng.integers(0, len(alphabet) - 1, size=int(lengths.sum()))
+    out: list[str] = []
+    cursor = 0
+    for n in lengths:
+        n = int(n)
+        out.append("".join(alphabet[chars[cursor : cursor + n]]))
+        cursor += n
+    return out
+
+
+def clerk_names(rng: RngStream, count: int, scale_factor: float) -> list[str]:
+    """``Clerk#000000NNN``: one clerk per 1000 orders (spec 4.2.3)."""
+    n_clerks = max(1, int(scale_factor * 1000))
+    ids = rng.integers(1, n_clerks, size=count)
+    return [f"Clerk#{int(i):09d}" for i in ids]

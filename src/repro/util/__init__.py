@@ -1,0 +1,25 @@
+"""Shared low-level utilities: bit-vectors, byte units, RNG streams."""
+
+from repro.util.bitvector import BitVector
+from repro.util.rng import RngStream
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_seconds,
+)
+
+__all__ = [
+    "BitVector",
+    "RngStream",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_seconds",
+]

@@ -1,0 +1,57 @@
+"""Deterministic, named random-number streams.
+
+TPC-H's dbgen derives every column from an independent seeded stream so
+that table contents are reproducible regardless of generation order.  We
+mirror that with named child streams spawned from one master seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RngStream:
+    """A reproducible random stream addressable by hierarchical names."""
+
+    def __init__(self, seed: int, name: str = "root"):
+        self.seed = seed
+        self.name = name
+        self._rng = np.random.default_rng(self._derive(seed, name))
+
+    @staticmethod
+    def _derive(seed: int, name: str) -> int:
+        digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def child(self, name: str) -> "RngStream":
+        """An independent stream for the given sub-name.
+
+        Two children with the same (seed, path) always produce identical
+        sequences, independent of sibling consumption.
+        """
+        return RngStream(self.seed, f"{self.name}/{name}")
+
+    # -- draws mirroring dbgen's primitives ---------------------------------
+
+    def integers(self, low: int, high: int, size=None) -> np.ndarray:
+        """Uniform integers in the inclusive range [low, high]."""
+        return self._rng.integers(low, high + 1, size=size)
+
+    def choice(self, options, size=None, p=None):
+        return self._rng.choice(options, size=size, p=p)
+
+    def uniform(self, low: float, high: float, size=None):
+        return self._rng.uniform(low, high, size=size)
+
+    def permutation(self, n: int) -> np.ndarray:
+        return self._rng.permutation(n)
+
+    def bytes(self, n: int) -> bytes:
+        return self._rng.bytes(n)
+
+    @property
+    def numpy(self) -> np.random.Generator:
+        """Escape hatch to the underlying NumPy generator."""
+        return self._rng

@@ -1,0 +1,47 @@
+"""Byte-size units and human-readable formatting helpers.
+
+The paper quotes sizes in binary units (8 KB flash pages, 16 GB DRAM,
+1 TB datasets); we follow that convention throughout: ``KB`` here is
+2**10 bytes, not 10**3.
+"""
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+_SCALES = ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB"))
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-unit suffix.
+
+    >>> fmt_bytes(8 * 1024)
+    '8.0KB'
+    >>> fmt_bytes(40 * GB)
+    '40.0GB'
+    """
+    for scale, suffix in _SCALES:
+        if abs(n) >= scale:
+            return f"{n / scale:.1f}{suffix}"
+    return f"{n:.0f}B"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth as e.g. ``'2.4GB/s'``."""
+    return f"{fmt_bytes(bytes_per_second)}/s"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Format a duration, switching units below one second.
+
+    >>> fmt_seconds(93.0)
+    '93.0s'
+    >>> fmt_seconds(0.00213)
+    '2.13ms'
+    """
+    if seconds >= 1.0:
+        return f"{seconds:.1f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"

@@ -1,0 +1,17 @@
+"""Shared fixtures: small TPC-H catalogs, sized per test cost."""
+
+import pytest
+
+from repro import tpch
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """A very small catalog for per-operator tests (~6k lineitems)."""
+    return tpch.generate(0.001)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """The integration-scale catalog (~60k lineitems)."""
+    return tpch.generate(0.01)

@@ -1,0 +1,43 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_query_by_number(self, capsys):
+        assert main(["query", "6", "--sf", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "match=True" in out
+        assert "rows-on-device=100%" in out
+
+    def test_query_from_sql(self, capsys):
+        code = main(
+            [
+                "query",
+                "--sql",
+                "SELECT count(*) AS n FROM orders",
+                "--sf",
+                "0.002",
+                "--no-device",
+            ]
+        )
+        assert code == 0
+        assert "3000" in capsys.readouterr().out
+
+    def test_query_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--sf", "0.002"])
+
+    def test_explain(self, capsys):
+        assert main(["explain", "9", "--sf", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "string heap exceeds regex cache" in out
+        assert "[DEVICE]" in out
+
+    def test_evaluate_smoke(self, capsys):
+        assert main(["evaluate", "--sf", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "mean CPU saving" in out
+        assert "q22" in out

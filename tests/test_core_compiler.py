@@ -1,0 +1,220 @@
+"""Query compiler: offload decisions and the paper's suspension classes."""
+
+import pytest
+
+from repro import tpch
+from repro.core.compiler import QueryCompiler, SuspendReason
+from repro.core.tabletask import SwissknifeOp
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir.expr import Like, ScalarSubquery, Substring
+from repro.sqlir.plan import Aggregate, Filter, Join, Scan
+
+SF1000_RATIO = 1000 / 0.01
+
+
+@pytest.fixture(scope="module")
+def compiler(small_db):
+    return QueryCompiler(small_db, scale_ratio=SF1000_RATIO)
+
+
+class TestBasicDecisions:
+    def test_scan_filter_project_offload(self, compiler):
+        plan = (
+            scan("lineitem", ("l_shipdate", "l_quantity"))
+            .filter(col("l_shipdate") > lit_date("1995-01-01"))
+            .project(q=col("l_quantity") * 2)
+            .plan
+        )
+        compiled = compiler.compile(plan)
+        assert compiled.decision(plan).offloadable
+
+    def test_terminal_aggregate_offloads(self, compiler):
+        plan = (
+            scan("lineitem", ("l_quantity",))
+            .aggregate(aggs=[("s", AggFunc.SUM, col("l_quantity"))])
+            .plan
+        )
+        compiled = compiler.compile(plan)
+        assert compiled.decision(plan).offloadable
+        assert compiled.fully_offloadable()
+
+    def test_mid_plan_aggregate_suspends(self, compiler):
+        agg = (
+            scan("lineitem", ("l_orderkey", "l_quantity"))
+            .aggregate(
+                keys=("l_orderkey",),
+                aggs=[("s", AggFunc.SUM, col("l_quantity"))],
+            )
+        )
+        plan = agg.join(
+            scan("orders", ("o_orderkey",)), "l_orderkey", "o_orderkey"
+        ).plan
+        compiled = compiler.compile(plan)
+        agg_node = next(
+            n for n in plan.walk() if isinstance(n, Aggregate)
+        )
+        decision = compiled.decision(agg_node)
+        assert not decision.offloadable
+        assert decision.reason is SuspendReason.MID_PLAN_GROUPBY
+        assert decision.device_assisted
+
+    def test_assist_marks_child_for_streaming(self, compiler):
+        agg = (
+            scan("lineitem", ("l_orderkey", "l_quantity"))
+            .aggregate(
+                keys=("l_orderkey",),
+                aggs=[("s", AggFunc.SUM, col("l_quantity"))],
+            )
+        )
+        plan = agg.join(
+            scan("orders", ("o_orderkey",)), "l_orderkey", "o_orderkey"
+        ).plan
+        compiled = compiler.compile(plan)
+        scan_node = next(
+            n for n in plan.walk()
+            if isinstance(n, Scan) and n.table == "lineitem"
+        )
+        assert compiled.decision(scan_node).stream_for_assist
+
+    def test_count_distinct_not_offloadable(self, compiler):
+        plan = (
+            scan("partsupp", ("ps_partkey", "ps_suppkey"))
+            .aggregate(
+                keys=("ps_partkey",),
+                aggs=[("n", AggFunc.COUNT_DISTINCT, col("ps_suppkey"))],
+            )
+            .plan
+        )
+        compiled = compiler.compile(plan)
+        assert not compiled.decision(plan).offloadable
+
+
+class TestStringHeapRule:
+    def test_small_domain_regex_offloads(self, compiler):
+        plan = (
+            scan("part", ("p_type",))
+            .filter(Like(col("p_type"), "%BRASS"))
+            .plan
+        )
+        assert compiler.compile(plan).decision(plan).offloadable
+
+    def test_scaled_comment_heap_suspends(self, compiler):
+        plan = (
+            scan("orders", ("o_comment",))
+            .filter(Like(col("o_comment"), "%special%requests%"))
+            .plan
+        )
+        compiled = compiler.compile(plan)
+        decision = compiled.decision(plan)
+        assert not decision.offloadable
+        assert decision.reason is SuspendReason.STRING_HEAP
+
+    def test_heap_rule_sees_through_renames(self, compiler):
+        plan = (
+            scan("nation", ("n_name",))
+            .project(alias=col("n_name"))
+            .filter(col("alias") == lit("FRANCE"))
+            .plan
+        )
+        assert compiler.compile(plan).decision(plan).offloadable
+
+    def test_substring_stays_on_host(self, compiler):
+        plan = (
+            scan("customer", ("c_phone",))
+            .project(cc=Substring(col("c_phone"), 1, 2))
+            .plan
+        )
+        assert not compiler.compile(plan).decision(plan).offloadable
+
+    def test_small_sf_comment_heap_would_fit(self, small_db):
+        # Without scaling, the tiny functional heap fits the 1 MB cache:
+        # the suspension is a property of the simulated SF.
+        unscaled = QueryCompiler(small_db, scale_ratio=1.0)
+        plan = (
+            scan("orders", ("o_comment",))
+            .filter(Like(col("o_comment"), "%special%"))
+            .plan
+        )
+        assert unscaled.compile(plan).decision(plan).offloadable
+
+
+class TestSubqueries:
+    def test_scalar_subquery_compiled_separately(self, compiler):
+        threshold = ScalarSubquery(
+            scan("lineitem", ("l_quantity",))
+            .aggregate(aggs=[("m", AggFunc.AVG, col("l_quantity"))])
+            .plan
+        )
+        plan = (
+            scan("lineitem", ("l_quantity",))
+            .filter(col("l_quantity") > threshold)
+            .plan
+        )
+        compiled = compiler.compile(plan)
+        assert compiled.decision(plan).offloadable
+        assert len(compiled.subqueries) == 1
+
+
+class TestTpchClasses:
+    """The paper's Sec. VIII-B query classification, by analysis."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self, small_db):
+        compiler = QueryCompiler(small_db, scale_ratio=SF1000_RATIO)
+        return {n: compiler.compile(tpch.query(n)) for n in tpch.ALL_QUERIES}
+
+    def test_string_heap_queries(self, compiled):
+        # Paper: 9, 13, 16, 20 are gated by regex on big string heaps;
+        # our plans add Q22 (SUBSTRING over c_phone's heap).
+        heap_bound = {
+            n
+            for n, cq in compiled.items()
+            if SuspendReason.STRING_HEAP in cq.suspend_reasons()
+        }
+        assert {9, 13, 16, 20} <= heap_bound
+
+    def test_mid_plan_groupby_queries(self, compiled):
+        groupby_bound = {
+            n
+            for n, cq in compiled.items()
+            if SuspendReason.MID_PLAN_GROUPBY in cq.suspend_reasons()
+        }
+        assert {17, 18} <= groupby_bound
+
+    def test_majority_fully_offloadable(self, compiled):
+        fully = {n for n, cq in compiled.items() if cq.fully_offloadable()}
+        # The paper offloads 14 of 22 fully; our plan shapes land within
+        # +/- 2 of that.
+        assert 12 <= len(fully) <= 16
+        assert {1, 3, 4, 5, 6, 12, 19} <= fully
+
+    def test_string_bound_queries_not_fully_offloadable(self, compiled):
+        for n in (9, 13, 22):
+            assert not compiled[n].fully_offloadable()
+
+
+class TestTableTaskEmission:
+    def test_q6_single_task(self, small_db):
+        compiler = QueryCompiler(small_db)
+        tasks = compiler.emit_table_tasks(tpch.query(6))
+        assert len(tasks) == 1
+        task = tasks[0]
+        assert task.table == "lineitem"
+        # shipdate x2, discount x2, quantity: five CP terms (the paper's
+        # "4 to 6 evaluators" upper end).
+        assert len(task.row_sel) == 5
+        assert task.operator is SwissknifeOp.AGGREGATE
+
+    def test_q1_single_task_groupby(self, small_db):
+        compiler = QueryCompiler(small_db)
+        tasks = compiler.emit_table_tasks(tpch.query(1))
+        task = tasks[0]
+        assert task.operator is SwissknifeOp.AGGREGATE_GROUPBY
+        assert task.operator_args["keys"] == [
+            "l_returnflag", "l_linestatus",
+        ]
+
+    def test_join_tree_rejected(self, small_db):
+        compiler = QueryCompiler(small_db)
+        with pytest.raises(ValueError, match="single-table"):
+            compiler.emit_table_tasks(tpch.query(3))

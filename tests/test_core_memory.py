@@ -1,0 +1,59 @@
+"""Device DRAM manager: scaled capacity, lifetimes, peaks."""
+
+import pytest
+
+from repro.core.memory import DeviceMemory, MemoryExceeded
+from repro.util.units import GB
+
+
+class TestAllocation:
+    def test_allocate_and_free(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.allocate("a", 60)
+        assert mem.used_effective == 60
+        mem.free("a")
+        assert mem.used_effective == 0
+        assert mem.peak_effective == 60
+
+    def test_overflow_raises(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.allocate("a", 60)
+        with pytest.raises(MemoryExceeded):
+            mem.allocate("b", 50)
+        # The failed allocation leaves no residue.
+        assert mem.used_effective == 60
+
+    def test_scale_ratio_applies(self):
+        # 1 KB of functional data models 100 KB at the simulated SF.
+        mem = DeviceMemory(capacity_bytes=50 * 1024, scale_ratio=100.0)
+        with pytest.raises(MemoryExceeded):
+            mem.allocate("a", 1024)
+
+    def test_duplicate_name_rejected(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.allocate("a", 10)
+        with pytest.raises(ValueError):
+            mem.allocate("a", 10)
+
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            DeviceMemory(capacity_bytes=100).free("ghost")
+
+    def test_free_all(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.allocate("a", 10)
+        mem.allocate("b", 20)
+        mem.free_all()
+        assert mem.used_effective == 0
+        assert not mem.holds("a")
+
+    def test_peak_tracks_high_water(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.allocate("a", 40)
+        mem.allocate("b", 40)
+        mem.free("a")
+        mem.allocate("c", 10)
+        assert mem.peak_effective == 80
+
+    def test_default_capacity_is_40gb(self):
+        assert DeviceMemory().capacity_bytes == 40 * GB

@@ -1,0 +1,108 @@
+"""The Row Transformer PE: ISA semantics and program limits."""
+
+import numpy as np
+import pytest
+
+from repro.core.pe import PE, Instruction, Opcode, PEProgram
+
+
+def run(instrs, inputs, imem=8):
+    return PE(PEProgram(instrs, imem_size=imem)).run(
+        [np.asarray(x, dtype=np.int64) for x in inputs]
+    )
+
+
+class TestInstructions:
+    def test_pass_through(self):
+        out = run([Instruction(Opcode.PASS, rd=0, rs=0)], [[1, 2, 3]])
+        assert out[0].tolist() == [1, 2, 3]
+
+    def test_alu_immediate(self):
+        out = run([Instruction(Opcode.MUL, rd=0, rs=0, imm=3)], [[2, 5]])
+        assert out[0].tolist() == [6, 15]
+
+    def test_store_then_alu_uses_operand_fifo(self):
+        # out = second_pop - first_pop (rf[rs] - opReg).
+        out = run(
+            [
+                Instruction(Opcode.STORE, rs=0),
+                Instruction(Opcode.SUB, rd=0, rs=0),
+            ],
+            [[10], [3]],
+        )
+        assert out[0].tolist() == [-7]
+
+    def test_register_write_and_read(self):
+        out = run(
+            [
+                Instruction(Opcode.PASS, rd=1, rs=0),
+                Instruction(Opcode.ADD, rd=0, rs=1, imm=5),
+            ],
+            [[7]],
+        )
+        assert out[0].tolist() == [12]
+
+    def test_copy_duplicates_to_opreg(self):
+        # COPY pushes to opReg; the ALU then adds the value to itself.
+        out = run(
+            [
+                Instruction(Opcode.COPY, rd=1, rs=0),
+                Instruction(Opcode.ADD, rd=0, rs=1),
+            ],
+            [[21]],
+        )
+        assert out[0].tolist() == [42]
+
+    def test_comparison_ops_produce_bits(self):
+        out = run([Instruction(Opcode.GT, rd=0, rs=0, imm=4)], [[3, 5]])
+        assert out[0].tolist() == [0, 1]
+        out = run([Instruction(Opcode.LT, rd=0, rs=0, imm=4)], [[3, 5]])
+        assert out[0].tolist() == [1, 0]
+        out = run([Instruction(Opcode.EQ, rd=0, rs=0, imm=4)], [[4, 5]])
+        assert out[0].tolist() == [1, 0]
+
+    def test_div_truncates_and_guards_zero(self):
+        out = run([Instruction(Opcode.DIV, rd=0, rs=0, imm=4)], [[9]])
+        assert out[0].tolist() == [2]
+
+
+class TestProgramValidation:
+    def test_imem_size_enforced(self):
+        instrs = [Instruction(Opcode.PASS, rd=0, rs=0)] * 9
+        with pytest.raises(ValueError, match="instruction memory"):
+            PEProgram(instrs, imem_size=8)
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.PASS, rd=8, rs=0)
+
+    def test_pass_takes_no_immediate(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.PASS, rd=0, rs=0, imm=1)
+
+    def test_reading_uninitialised_register(self):
+        with pytest.raises(RuntimeError, match="uninitialised"):
+            run([Instruction(Opcode.PASS, rd=0, rs=3)], [])
+
+    def test_under_consuming_inputs_detected(self):
+        with pytest.raises(RuntimeError, match="consumed"):
+            run([Instruction(Opcode.PASS, rd=0, rs=0)], [[1], [2]])
+
+    def test_over_consuming_inputs_detected(self):
+        with pytest.raises(RuntimeError, match="past the end"):
+            run(
+                [
+                    Instruction(Opcode.PASS, rd=0, rs=0),
+                    Instruction(Opcode.PASS, rd=0, rs=0),
+                ],
+                [[1]],
+            )
+
+    def test_alu_with_empty_fifo(self):
+        with pytest.raises(RuntimeError, match="operand FIFO"):
+            run([Instruction(Opcode.ADD, rd=0, rs=0)], [[1]])
+
+    def test_cycles_per_iteration(self):
+        pe = PE(PEProgram([Instruction(Opcode.PASS, rd=0, rs=0)] * 3,
+                          imem_size=8))
+        assert pe.cycles_per_iteration == 3

@@ -1,0 +1,82 @@
+"""Regex accelerator: heap-cache rule and predicate paths."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.regex_accel import HeapTooLarge, RegexAccelerator
+from repro.storage.stringheap import StringHeap
+
+
+@pytest.fixture()
+def heap_and_codes():
+    return StringHeap.from_values(
+        ["PROMO TIN", "SMALL TIN", "PROMO STEEL", "SMALL TIN"]
+    )
+
+
+class TestCacheRule:
+    def test_small_heap_accepted(self, heap_and_codes):
+        heap, _ = heap_and_codes
+        RegexAccelerator().check_heap(heap)
+
+    def test_oversized_heap_rejected(self, heap_and_codes):
+        heap, _ = heap_and_codes
+        accel = RegexAccelerator(cache_bytes=4)
+        with pytest.raises(HeapTooLarge):
+            accel.check_heap(heap)
+
+    def test_effective_bytes_override(self, heap_and_codes):
+        heap, _ = heap_and_codes
+        accel = RegexAccelerator()
+        with pytest.raises(HeapTooLarge):
+            accel.check_heap(heap, effective_heap_bytes=2 * 1024 * 1024)
+
+
+class TestMatching:
+    def test_like(self, heap_and_codes):
+        heap, codes = heap_and_codes
+        accel = RegexAccelerator()
+        mask = accel.match_like(codes, heap, re.compile("^PROMO.*$"))
+        assert mask.tolist() == [True, False, True, False]
+        assert accel.unique_matches == heap.unique_count
+        assert accel.rows_evaluated == 4
+
+    def test_like_negated(self, heap_and_codes):
+        heap, codes = heap_and_codes
+        mask = RegexAccelerator().match_like(
+            codes, heap, re.compile("^PROMO.*$"), negated=True
+        )
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_equals(self, heap_and_codes):
+        heap, codes = heap_and_codes
+        mask = RegexAccelerator().match_equals(codes, heap, "SMALL TIN")
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_equals_missing_value(self, heap_and_codes):
+        heap, codes = heap_and_codes
+        mask = RegexAccelerator().match_equals(codes, heap, "ZZZ")
+        assert not mask.any()
+
+    def test_in_list(self, heap_and_codes):
+        heap, codes = heap_and_codes
+        mask = RegexAccelerator().match_in(
+            codes, heap, ("PROMO TIN", "PROMO STEEL")
+        )
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_in_list_negated(self, heap_and_codes):
+        heap, codes = heap_and_codes
+        mask = RegexAccelerator().match_in(
+            codes, heap, ("PROMO TIN",), negated=True
+        )
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_unique_evaluation_count_independent_of_rows(self):
+        heap, _ = StringHeap.from_values(["a", "b"])
+        codes = np.zeros(10_000, dtype=np.int64)
+        accel = RegexAccelerator()
+        accel.match_like(codes, heap, re.compile("a"))
+        assert accel.unique_matches == 2  # per unique string, not per row

@@ -1,0 +1,125 @@
+"""Row Selector: predicate extraction and mask generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.row_selector import (
+    ColumnPredicate,
+    PredicateOp,
+    PredicateProgram,
+    RowSelector,
+    SelectorOverflow,
+    extract_predicate_program,
+)
+from repro.sqlir.expr import InList, Like, col, lit, lit_date
+from repro.util.bitvector import BitVector
+
+
+class TestExtraction:
+    def test_simple_conjunction_fully_absorbed(self):
+        pred = (col("a") > 5) & (col("b") <= lit_date("1998-09-02"))
+        program, leftover = extract_predicate_program(pred)
+        assert len(program) == 2
+        assert leftover is None
+
+    def test_multi_column_comparison_forwarded(self):
+        pred = (col("a") > 5) & (col("a") < col("b"))
+        program, leftover = extract_predicate_program(pred)
+        assert len(program) == 1
+        assert leftover is not None
+
+    def test_string_columns_go_to_regex_path(self):
+        pred = (col("s") == lit("R")) & (col("a") > 1)
+        program, leftover = extract_predicate_program(
+            pred, string_columns=frozenset({"s"})
+        )
+        assert [t.column for t in program.terms] == ["a"]
+        assert leftover is not None
+
+    def test_like_always_forwarded(self):
+        program, leftover = extract_predicate_program(
+            Like(col("s"), "%x%")
+        )
+        assert len(program) == 0
+        assert leftover is not None
+
+    def test_evaluator_budget_respected(self):
+        pred = (
+            (col("a") > 1) & (col("b") > 2) & (col("c") > 3)
+            & (col("d") > 4) & (col("e") > 5)
+        )
+        program, leftover = extract_predicate_program(pred, n_evaluators=4)
+        assert len(program) == 4
+        assert leftover is not None
+
+    def test_or_is_not_selector_material(self):
+        pred = (col("a") > 1) | (col("b") > 2)
+        program, leftover = extract_predicate_program(pred)
+        assert len(program) == 0
+
+    def test_flipped_literal_side(self):
+        program, leftover = extract_predicate_program(lit(5) > col("a"))
+        assert len(program) == 1
+        assert program.terms[0].op is PredicateOp.LT
+
+    def test_columns_deduplicated(self):
+        pred = (col("a") > 1) & (col("a") < 9)
+        program, _ = extract_predicate_program(pred)
+        assert program.columns == ["a"]
+
+
+class TestSelection:
+    def test_mask_and_of_terms(self):
+        program = PredicateProgram(
+            (
+                ColumnPredicate("a", PredicateOp.GT, 2),
+                ColumnPredicate("b", PredicateOp.LE, 10),
+            )
+        )
+        mask = RowSelector().select(
+            program,
+            {"a": np.array([1, 3, 5]), "b": np.array([5, 50, 5])},
+            nrows=3,
+        )
+        assert mask.indices().tolist() == [2]
+
+    def test_base_mask_composes(self):
+        program = PredicateProgram(
+            (ColumnPredicate("a", PredicateOp.GE, 0),)
+        )
+        base = BitVector.from_indices([0, 2], 3)
+        mask = RowSelector().select(
+            program, {"a": np.array([1, 1, 1])}, 3, base_mask=base
+        )
+        assert mask.indices().tolist() == [0, 2]
+
+    def test_overflow_raises(self):
+        program = PredicateProgram(
+            tuple(ColumnPredicate(f"c{i}", PredicateOp.EQ, 0)
+                  for i in range(5))
+        )
+        with pytest.raises(SelectorOverflow):
+            RowSelector(n_evaluators=4).select(program, {}, 0)
+
+    def test_all_predicate_ops(self):
+        values = np.array([1, 2, 3])
+        cases = {
+            PredicateOp.EQ: [False, True, False],
+            PredicateOp.NE: [True, False, True],
+            PredicateOp.LT: [True, False, False],
+            PredicateOp.LE: [True, True, False],
+            PredicateOp.GT: [False, False, True],
+            PredicateOp.GE: [False, True, True],
+        }
+        for op, expected in cases.items():
+            got = ColumnPredicate("x", op, 2).evaluate(values)
+            assert got.tolist() == expected
+
+    def test_stats_accumulate(self):
+        selector = RowSelector()
+        program = PredicateProgram(
+            (ColumnPredicate("a", PredicateOp.GT, 0),)
+        )
+        selector.select(program, {"a": np.ones(64)}, 64)
+        assert selector.rows_scanned == 64
+        assert selector.masks_produced == 2  # 64 rows / 32-row vectors

@@ -1,0 +1,152 @@
+"""Vectorised operator kernels: joins, grouping, sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operators.grouping import (
+    aggregate_count,
+    aggregate_count_distinct,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    group_rows,
+)
+from repro.engine.operators.joins import inner_join_indices, semi_join_mask
+from repro.engine.operators.sorting import multi_key_order
+from repro.sqlir.expr import Kind, TypedArray
+from repro.storage.stringheap import StringHeap
+
+keys_lists = st.lists(st.integers(0, 20), max_size=50)
+
+
+class TestInnerJoin:
+    def test_basic_pairs(self):
+        li, ri = inner_join_indices(np.array([1, 2, 3]), np.array([2, 2, 4]))
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (1, 1)]
+
+    def test_left_major_order(self):
+        li, _ = inner_join_indices(np.array([5, 1, 5]), np.array([5, 1]))
+        assert li.tolist() == sorted(li.tolist())
+
+    def test_empty_sides(self):
+        li, ri = inner_join_indices(np.array([]), np.array([1]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_no_matches(self):
+        li, ri = inner_join_indices(np.array([1]), np.array([2]))
+        assert len(li) == 0
+
+    @given(keys_lists, keys_lists)
+    @settings(max_examples=60)
+    def test_matches_nested_loop_reference(self, left, right):
+        left = np.array(left, dtype=np.int64)
+        right = np.array(right, dtype=np.int64)
+        li, ri = inner_join_indices(left, right)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if lv == rv
+        )
+        assert got == expected
+
+    @given(keys_lists, keys_lists)
+    @settings(max_examples=40)
+    def test_semi_mask_matches_membership(self, left, right):
+        left = np.array(left, dtype=np.int64)
+        right = np.array(right, dtype=np.int64)
+        mask = semi_join_mask(left, right)
+        rset = set(right.tolist())
+        assert mask.tolist() == [v in rset for v in left.tolist()]
+
+
+class TestGrouping:
+    def test_group_numbers_first_appearance_order(self):
+        g = group_rows([np.array([7, 3, 7, 9, 3])])
+        assert g.group_of_row.tolist() == [0, 1, 0, 2, 1]
+        assert g.representative.tolist() == [0, 1, 3]
+
+    def test_multi_key_grouping(self):
+        g = group_rows([np.array([1, 1, 2]), np.array([5, 6, 5])])
+        assert g.n_groups == 3
+
+    def test_empty_keys_no_rows(self):
+        g = group_rows([])
+        assert g.n_groups == 1  # the implicit global group
+
+    def test_empty_input_with_keys(self):
+        g = group_rows([np.array([], dtype=np.int64)])
+        assert g.n_groups == 0
+
+    def test_aggregates(self):
+        g = group_rows([np.array([0, 1, 0, 1])])
+        v = np.array([10, 20, 30, 40])
+        assert aggregate_sum(v, g).tolist() == [40, 60]
+        assert aggregate_count(g).tolist() == [2, 2]
+        assert aggregate_min(v, g).tolist() == [10, 20]
+        assert aggregate_max(v, g).tolist() == [30, 40]
+
+    def test_count_distinct(self):
+        g = group_rows([np.array([0, 0, 0, 1])])
+        v = np.array([5, 5, 6, 7])
+        assert aggregate_count_distinct(v, g).tolist() == [2, 1]
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_sum_matches_reference(self, rows):
+        keys = np.array([k for k, _ in rows])
+        vals = np.array([v for _, v in rows])
+        g = group_rows([keys])
+        sums = aggregate_sum(vals, g)
+        reference = {}
+        for k, v in rows:
+            reference[k] = reference.get(k, 0) + v
+        got = {
+            int(keys[g.representative[i]]): int(sums[i])
+            for i in range(g.n_groups)
+        }
+        assert got == reference
+
+
+class TestSorting:
+    def test_multi_key_directions(self):
+        a = TypedArray(np.array([2, 1, 2]))
+        b = TypedArray(np.array([5, 9, 1]))
+        order = multi_key_order([(a, True), (b, False)])
+        assert order.tolist() == [1, 0, 2]
+
+    def test_string_keys_sort_by_value_not_code(self):
+        heap, codes = StringHeap.from_values(["zebra", "apple"])
+        arr = TypedArray(codes, Kind.STR, 0, heap)
+        order = multi_key_order([(arr, True)])
+        assert order.tolist() == [1, 0]
+
+    def test_float_keys_with_negatives(self):
+        arr = TypedArray(np.array([1.5, -2.0, 0.0]), Kind.FLOAT)
+        order = multi_key_order([(arr, True)])
+        assert order.tolist() == [1, 2, 0]
+
+    def test_descending_floats(self):
+        arr = TypedArray(np.array([1.5, -2.0, 0.0]), Kind.FLOAT)
+        order = multi_key_order([(arr, False)])
+        assert order.tolist() == [0, 2, 1]
+
+    def test_stability(self):
+        a = TypedArray(np.array([1, 1, 1]))
+        order = multi_key_order([(a, True)])
+        assert order.tolist() == [0, 1, 2]
+
+    def test_requires_a_key(self):
+        with pytest.raises(ValueError):
+            multi_key_order([])
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    def test_single_key_matches_numpy(self, values):
+        arr = TypedArray(np.array(values, dtype=np.int64))
+        order = multi_key_order([(arr, True)])
+        assert np.array_equal(np.array(values)[order], np.sort(values))

@@ -1,0 +1,87 @@
+"""Flash substrate: timing, command queue, controller switch."""
+
+import pytest
+
+from repro.flash import (
+    CommandKind,
+    ControllerSwitch,
+    FlashClient,
+    FlashCommand,
+    FlashConfig,
+    FlashController,
+    FlashTiming,
+)
+from repro.util.units import GB, KB, MB, TB
+
+
+class TestConfig:
+    def test_bluedbm_defaults(self):
+        cfg = FlashConfig()
+        assert cfg.capacity_bytes == 1 * TB
+        assert cfg.page_bytes == 8 * KB
+        assert cfg.read_bandwidth == 2.4 * GB
+        assert cfg.write_bandwidth == 800 * MB
+        assert cfg.queue_depth == 128
+
+    def test_derived_timing(self):
+        t = FlashTiming.from_config(FlashConfig())
+        assert t.read_service_s == pytest.approx(8 * KB / (2.4 * GB))
+        assert t.read_latency_s == pytest.approx(100e-6)
+
+
+class TestController:
+    def test_sequential_reads_hit_bandwidth(self):
+        ctrl = FlashController()
+        n_pages = 3000
+        done = ctrl.read_pages(range(n_pages))
+        expected = n_pages * 8 * KB / (2.4 * GB)
+        # One array latency up front, then line rate.
+        assert done == pytest.approx(expected + 100e-6, rel=0.01)
+
+    def test_page_out_of_range(self):
+        ctrl = FlashController()
+        with pytest.raises(ValueError):
+            ctrl.submit(FlashCommand(CommandKind.READ, 10**12))
+
+    def test_stats_split_by_client(self):
+        ctrl = FlashController()
+        ctrl.read_pages([0, 1], client="host")
+        ctrl.read_pages([2], client="aquoman")
+        assert ctrl.stats.pages_read == {"host": 2, "aquoman": 1}
+        assert ctrl.stats.total_pages_read() == 3
+
+    def test_writes_slower_than_reads(self):
+        t = FlashTiming.from_config(FlashConfig())
+        assert t.write_service_s > t.read_service_s
+
+    def test_queue_backpressure(self):
+        cfg = FlashConfig(queue_depth=4)
+        ctrl = FlashController(cfg)
+        # Issue many commands at t=0: all are accepted but the queue
+        # serialises; occupancy never exceeds the depth.
+        for pid in range(64):
+            ctrl.submit(FlashCommand(CommandKind.READ, pid))
+        assert ctrl.queue_occupancy(0.0) <= 4
+
+    def test_sequential_helpers(self):
+        ctrl = FlashController()
+        assert ctrl.sequential_read_seconds(int(2.4 * GB)) == pytest.approx(1.0)
+        assert ctrl.sequential_write_seconds(800 * MB) == pytest.approx(1.0)
+
+
+class TestSwitch:
+    def test_fair_share_bandwidth(self):
+        switch = ControllerSwitch()
+        assert switch.effective_read_bandwidth(1) == pytest.approx(2.4 * GB)
+        assert switch.effective_read_bandwidth(2) == pytest.approx(1.2 * GB)
+        with pytest.raises(ValueError):
+            switch.effective_read_bandwidth(0)
+
+    def test_per_client_accounting(self):
+        switch = ControllerSwitch()
+        switch.submit(FlashClient.HOST, CommandKind.READ, 0)
+        switch.submit(FlashClient.AQUOMAN, CommandKind.READ, 1)
+        switch.submit(FlashClient.AQUOMAN, CommandKind.READ, 2)
+        assert switch.bytes_requested(FlashClient.HOST) == 8 * KB
+        assert switch.bytes_requested(FlashClient.AQUOMAN) == 16 * KB
+        assert switch.stats.pages_read == {"host": 1, "aquoman": 2}

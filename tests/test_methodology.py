@@ -1,0 +1,112 @@
+"""Methodology validation: the trace-scaling approach itself.
+
+The whole evaluation rests on one claim: traces collected at a small
+functional SF, scaled to SF-1000, predict what a run at SF-1000 would
+record.  These tests check the claim the only way available at laptop
+scale — *scale invariance*: two different functional SFs must scale to
+(approximately) the same SF-1000 trace, and the offload classification
+must not depend on which functional SF the simulator ran at.
+"""
+
+import pytest
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.engine import Engine
+from repro.perf.scaling import scale_trace
+from repro.perf.tpch_eval import GROUP_DOMAINS
+from repro.util.units import GB
+
+SF_A = 0.004
+SF_B = 0.016
+TARGET = 1000.0
+
+CHECK_QUERIES = (1, 3, 6, 12, 18)
+
+
+@pytest.fixture(scope="module")
+def db_pair():
+    return tpch.generate(SF_A), tpch.generate(SF_B)
+
+
+def _scaled_host_trace(db, number):
+    engine = Engine(db)
+    engine.trace.query = f"q{number:02d}"
+    engine.trace.scale_factor = db.scale_factor
+    engine.execute_relation(tpch.query(number))
+    return scale_trace(engine.trace, TARGET, group_domains=GROUP_DOMAINS)
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("number", CHECK_QUERIES)
+    def test_flash_traffic_scale_invariant(self, db_pair, number):
+        small, large = db_pair
+        a = _scaled_host_trace(small, number)
+        b = _scaled_host_trace(large, number)
+        assert a.total_flash_bytes == pytest.approx(
+            b.total_flash_bytes, rel=0.05
+        )
+
+    @pytest.mark.parametrize("number", CHECK_QUERIES)
+    def test_row_work_scale_invariant(self, db_pair, number):
+        small, large = db_pair
+        a = _scaled_host_trace(small, number)
+        b = _scaled_host_trace(large, number)
+        rows_a = sum(op.rows_in for op in a.ops)
+        rows_b = sum(op.rows_in for op in b.ops)
+        assert rows_a == pytest.approx(rows_b, rel=0.08)
+
+    def test_device_traffic_scale_invariant(self, db_pair):
+        small, large = db_pair
+        traces = []
+        for db in (small, large):
+            cfg = DeviceConfig(
+                dram_bytes=40 * GB,
+                scale_ratio=TARGET / db.scale_factor,
+            )
+            sim = AquomanSimulator(db, cfg).run(tpch.query(6), query="q06")
+            traces.append(scale_trace(sim.trace, TARGET))
+        a, b = traces
+        assert a.aquoman_flash_bytes == pytest.approx(
+            b.aquoman_flash_bytes, rel=0.05
+        )
+
+    def test_offload_classification_sf_independent(self, db_pair):
+        small, large = db_pair
+        verdicts = []
+        for db in (small, large):
+            cfg = DeviceConfig(
+                dram_bytes=40 * GB,
+                scale_ratio=TARGET / db.scale_factor,
+            )
+            per_query = {}
+            for n in (1, 6, 9, 13, 17, 21):
+                sim = AquomanSimulator(db, cfg).run(
+                    tpch.query(n), query=f"q{n:02d}"
+                )
+                per_query[n] = sim.trace.offload_fraction_rows > 0.5
+            verdicts.append(per_query)
+        assert verdicts[0] == verdicts[1]
+
+    def test_dram_peak_scales_with_ratio(self, db_pair):
+        """q21's device DRAM peak, scaled, must agree across SFs."""
+        small, large = db_pair
+        peaks = []
+        for db in (small, large):
+            ratio = TARGET / db.scale_factor
+            cfg = DeviceConfig(dram_bytes=40 * GB, scale_ratio=ratio)
+            sim = AquomanSimulator(db, cfg).run(tpch.query(21), query="q21")
+            peaks.append(sim.trace.aquoman_dram_peak_bytes * ratio)
+        assert peaks[0] == pytest.approx(peaks[1], rel=0.10)
+
+
+class TestDeterminism:
+    def test_simulation_is_deterministic(self, small_db):
+        cfg = DeviceConfig(dram_bytes=40 * GB, scale_ratio=1e5)
+        a = AquomanSimulator(small_db, cfg).run(tpch.query(5), query="q05")
+        b = AquomanSimulator(small_db, cfg).run(tpch.query(5), query="q05")
+        assert a.table.equals(b.table)
+        assert a.trace.aquoman_flash_bytes == b.trace.aquoman_flash_bytes
+        assert a.trace.aquoman_dram_peak_bytes == (
+            b.trace.aquoman_dram_peak_bytes
+        )

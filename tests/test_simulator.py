@@ -1,0 +1,152 @@
+"""The AQUOMAN simulator: functional equivalence and trace behaviour.
+
+The central correctness property of the whole reproduction: for every
+TPC-H query, hybrid device+host execution returns *bit-identical*
+results to the pure-software baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.core.compiler import SuspendReason
+from repro.engine import Engine
+from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.util.units import GB, MB
+
+SF1000_RATIO = 1000 / 0.01
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DeviceConfig(dram_bytes=40 * GB, scale_ratio=SF1000_RATIO)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("number", tpch.ALL_QUERIES)
+    def test_query_matches_baseline(self, small_db, config, number):
+        baseline = Engine(small_db).execute(tpch.query(number))
+        result = AquomanSimulator(small_db, config).run(
+            tpch.query(number), query=f"q{number:02d}"
+        )
+        assert baseline.equals(result.table.renamed("result")), (
+            f"q{number:02d} diverged from the software baseline"
+        )
+
+
+class TestOffloadBehaviour:
+    def test_q6_fully_offloaded(self, small_db, config):
+        result = AquomanSimulator(small_db, config).run(
+            tpch.query(6), query="q06"
+        )
+        trace = result.trace
+        assert trace.offload_fraction_rows > 0.99
+        assert trace.aquoman_flash_bytes > 0
+        assert not trace.suspended
+
+    def test_q9_stays_on_host(self, small_db, config):
+        result = AquomanSimulator(small_db, config).run(
+            tpch.query(9), query="q09"
+        )
+        assert result.trace.offload_fraction_rows < 0.1
+        assert SuspendReason.STRING_HEAP in result.suspend_reasons
+
+    def test_q18_device_assisted_aggregate(self, small_db, config):
+        result = AquomanSimulator(small_db, config).run(
+            tpch.query(18), query="q18"
+        )
+        assisted = [op for op in result.trace.ops if op.assisted]
+        assert assisted, "the mid-plan group-by should be device-assisted"
+        assert result.trace.aquoman_flash_bytes > 0
+        assert result.trace.groupby_spill_groups > 0
+
+    def test_q21_dram_usage_between_16_and_40gb(self, small_db, config):
+        result = AquomanSimulator(small_db, config).run(
+            tpch.query(21), query="q21"
+        )
+        scaled_peak = (
+            result.trace.aquoman_dram_peak_bytes * SF1000_RATIO
+        )
+        assert 16 * GB < scaled_peak <= 40 * GB
+
+    def test_q21_suspends_at_16gb(self, small_db):
+        cfg16 = DeviceConfig(dram_bytes=16 * GB, scale_ratio=SF1000_RATIO)
+        result = AquomanSimulator(small_db, cfg16).run(
+            tpch.query(21), query="q21"
+        )
+        assert SuspendReason.DRAM_EXCEEDED in result.suspend_reasons
+        baseline = Engine(small_db).execute(tpch.query(21))
+        assert baseline.equals(result.table.renamed("result"))
+
+    def test_fourteen_ish_queries_mostly_offloaded(self, small_db, config):
+        high = 0
+        for n in tpch.ALL_QUERIES:
+            result = AquomanSimulator(small_db, config).run(
+                tpch.query(n), query=f"q{n:02d}"
+            )
+            if result.trace.offload_fraction_rows > 0.9:
+                high += 1
+        assert 12 <= high <= 17  # the paper offloads 14 of 22 fully
+
+    def test_page_skipping_reduces_traffic(self, small_db, config):
+        # A selective filter must stream fewer bytes than a full scan of
+        # the projected column.
+        selective = (
+            scan("lineitem", ("l_shipdate", "l_extendedprice"))
+            .filter(col("l_shipdate") == lit_date("1994-01-01"))
+            .project(v=col("l_extendedprice"))
+            .aggregate(aggs=[("s", AggFunc.SUM, col("v"))])
+            .plan
+        )
+        broad = (
+            scan("lineitem", ("l_shipdate", "l_extendedprice"))
+            .filter(col("l_shipdate") >= lit_date("1900-01-01"))
+            .project(v=col("l_extendedprice"))
+            .aggregate(aggs=[("s", AggFunc.SUM, col("v"))])
+            .plan
+        )
+        sim = AquomanSimulator(small_db, config)
+        t_selective = sim.run(selective).trace.aquoman_flash_bytes
+        t_broad = AquomanSimulator(small_db, config).run(
+            broad
+        ).trace.aquoman_flash_bytes
+        assert t_selective < t_broad
+
+    def test_join_index_shortcut_avoids_dram(self, small_db, config):
+        # Q12's lineitem -> orders join rides the FK join index.
+        result = AquomanSimulator(small_db, config).run(
+            tpch.query(12), query="q12"
+        )
+        assert result.trace.aquoman_dram_peak_bytes == 0
+        assert result.trace.offload_fraction_rows > 0.95
+
+    def test_bare_scan_not_offloaded(self, small_db, config):
+        plan = scan("lineitem", ("l_orderkey",)).plan
+        result = AquomanSimulator(small_db, config).run(plan)
+        assert result.trace.aquoman_flash_bytes == 0
+
+    def test_trace_scale_factor_recorded(self, small_db, config):
+        result = AquomanSimulator(small_db, config).run(tpch.query(6))
+        assert result.trace.scale_factor == small_db.scale_factor
+
+
+class TestSuspensionRollback:
+    def test_tiny_dram_suspends_but_stays_correct(self, small_db):
+        cfg = DeviceConfig(dram_bytes=1 * MB, scale_ratio=SF1000_RATIO)
+        for n in (3, 5, 10):
+            baseline = Engine(small_db).execute(tpch.query(n))
+            result = AquomanSimulator(small_db, cfg).run(
+                tpch.query(n), query=f"q{n:02d}"
+            )
+            assert baseline.equals(result.table.renamed("result"))
+
+    def test_rollback_restores_meters(self, small_db):
+        cfg = DeviceConfig(dram_bytes=1 * MB, scale_ratio=SF1000_RATIO)
+        result = AquomanSimulator(small_db, cfg).run(
+            tpch.query(5), query="q05"
+        )
+        # The suspended join subtree re-ran on the host: its flash
+        # traffic must appear in host reads, not double-billed.
+        assert SuspendReason.DRAM_EXCEEDED in result.suspend_reasons
+        assert result.trace.total_flash_bytes > 0

@@ -1,0 +1,292 @@
+"""SQL parser and planner: syntax, planning, end-to-end equivalence."""
+
+import pytest
+
+from repro import tpch
+from repro.engine import Engine
+from repro.sqlir import (
+    PlanningError,
+    SqlSyntaxError,
+    parse_sql,
+    plan_sql,
+)
+from repro.sqlir.expr import (
+    BoolExpr,
+    CaseWhen,
+    Compare,
+    ExtractYear,
+    InList,
+    Like,
+    Substring,
+)
+from repro.sqlir.plan import Aggregate, Filter, Join, Limit, Scan, Sort
+
+
+class TestParser:
+    def test_minimal_select(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert stmt.tables == [("t", "t")]
+        assert stmt.items[0].alias == "a"
+
+    def test_alias_and_case_insensitive_keywords(self):
+        stmt = parse_sql("select A as x from T t1 where A > 3")
+        assert stmt.items[0].alias == "x"
+        assert stmt.tables == [("T", "t1")]
+        assert stmt.where is not None
+
+    def test_aggregates(self):
+        stmt = parse_sql(
+            "SELECT sum(a) AS s, count(*) AS n, avg(b) AS m, "
+            "count(distinct c) AS d FROM t"
+        )
+        funcs = [i.aggregate.value for i in stmt.items]
+        assert funcs == ["sum", "count", "avg", "count_distinct"]
+
+    def test_string_literal_with_escape(self):
+        stmt = parse_sql("SELECT a FROM t WHERE s = 'it''s'")
+        assert stmt.where.right.raw == "it's"
+
+    def test_date_literal(self):
+        stmt = parse_sql("SELECT a FROM t WHERE d >= date '1994-01-01'")
+        assert stmt.where.right.raw == 8766  # epoch days
+
+    def test_between_expands_to_range(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, BoolExpr)
+
+    def test_not_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5")
+        assert stmt.where.op.value == "not"
+
+    def test_like_and_in(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE s LIKE '%x%' AND m IN ('A', 'B') "
+            "AND k NOT IN (1, 2)"
+        )
+        conj = stmt.where
+        assert isinstance(conj, BoolExpr)
+
+    def test_case_when(self):
+        stmt = parse_sql(
+            "SELECT sum(CASE WHEN a > 1 THEN b ELSE 0 END) AS s FROM t"
+        )
+        assert isinstance(stmt.items[0].aggregate_arg, CaseWhen)
+
+    def test_extract_and_substring(self):
+        stmt = parse_sql(
+            "SELECT extract(year FROM d) AS y, "
+            "substring(p FROM 1 FOR 2) AS cc FROM t"
+        )
+        assert isinstance(stmt.items[0].expr, ExtractYear)
+        assert isinstance(stmt.items[1].expr, Substring)
+
+    def test_order_and_limit(self):
+        stmt = parse_sql(
+            "SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 7"
+        )
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 7
+
+    def test_operator_precedence(self):
+        stmt = parse_sql("SELECT a + b * c AS x FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op.value == "+"
+        assert expr.right.op.value == "*"
+
+    def test_parenthesised_or(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE (a = 1 OR a = 2) AND b = 3"
+        )
+        assert stmt.where.op.value == "and"
+
+    def test_qualified_columns(self):
+        stmt = parse_sql(
+            "SELECT o.o_orderkey AS k FROM orders o WHERE o.o_orderkey = 1"
+        )
+        assert stmt.items[0].expr.name == "o_orderkey"
+
+    def test_syntax_errors(self):
+        for bad in (
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t trailing junk (",
+            "SELECT a FROM t; SELECT b FROM t",
+        ):
+            with pytest.raises(SqlSyntaxError):
+                parse_sql(bad)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            parse_sql("SELECT a FROM t WHERE a = @")
+
+
+class TestPlanner:
+    def test_single_table_shape(self, small_db):
+        plan = plan_sql(
+            "SELECT l_orderkey AS k FROM lineitem WHERE l_quantity > 10",
+            small_db,
+        )
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["Scan", "Filter", "Project"]
+
+    def test_scan_columns_pruned(self, small_db):
+        plan = plan_sql(
+            "SELECT l_orderkey AS k FROM lineitem WHERE l_quantity > 10",
+            small_db,
+        )
+        scan_node = next(n for n in plan.walk() if isinstance(n, Scan))
+        assert set(scan_node.columns) == {"l_orderkey", "l_quantity"}
+
+    def test_join_order_from_edges(self, small_db):
+        plan = plan_sql(
+            "SELECT o_orderkey AS k FROM orders, customer "
+            "WHERE o_custkey = c_custkey AND c_acctbal > 0",
+            small_db,
+        )
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        assert len(joins) == 1
+
+    def test_filters_pushed_below_join(self, small_db):
+        plan = plan_sql(
+            "SELECT o_orderkey AS k FROM orders, customer "
+            "WHERE o_custkey = c_custkey AND c_acctbal > 0",
+            small_db,
+        )
+        join = next(n for n in plan.walk() if isinstance(n, Join))
+        assert isinstance(join.right, Filter)  # the acctbal pushdown
+
+    def test_cross_join_rejected(self, small_db):
+        with pytest.raises(PlanningError, match="equi-join"):
+            plan_sql("SELECT o_orderkey AS k FROM orders, customer",
+                     small_db)
+
+    def test_unknown_column(self, small_db):
+        with pytest.raises(PlanningError, match="not found"):
+            plan_sql("SELECT nope FROM orders", small_db)
+
+    def test_ambiguous_column_names(self, small_db):
+        # No TPC-H pair collides, so craft one via the same table twice.
+        with pytest.raises(PlanningError, match="ambiguous"):
+            plan_sql(
+                "SELECT o_orderkey AS k FROM orders, orders "
+                "WHERE o_orderkey = o_orderkey",
+                small_db,
+            )
+
+    def test_bare_output_must_be_group_key(self, small_db):
+        with pytest.raises(PlanningError, match="GROUP BY"):
+            plan_sql(
+                "SELECT o_orderkey, count(*) AS n FROM orders",
+                small_db,
+            )
+
+
+class TestEndToEnd:
+    def test_q6_sql_matches_builder(self, small_db):
+        sql = """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= date '1994-01-01'
+          AND l_shipdate < date '1995-01-01'
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+        """
+        via_sql = Engine(small_db).execute(plan_sql(sql, small_db))
+        via_builder = Engine(small_db).execute(tpch.query(6))
+        assert via_sql.to_rows() == via_builder.to_rows()
+
+    def test_q1_sql_matches_builder_aggregates(self, small_db):
+        sql = """
+        SELECT l_returnflag, l_linestatus,
+               sum(l_quantity) AS sum_qty,
+               sum(l_extendedprice) AS sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))
+                   AS sum_charge,
+               avg(l_quantity) AS avg_qty,
+               avg(l_extendedprice) AS avg_price,
+               avg(l_discount) AS avg_disc,
+               count(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= date '1998-09-02'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+        """
+        via_sql = Engine(small_db).execute(plan_sql(sql, small_db))
+        via_builder = Engine(small_db).execute(tpch.query(1))
+        assert via_sql.to_rows() == via_builder.to_rows()
+
+    def test_q3_sql_three_way_join(self, small_db):
+        sql = """
+        SELECT l_orderkey,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 'BUILDING'
+          AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND o_orderdate < date '1995-03-15'
+          AND l_shipdate > date '1995-03-15'
+        GROUP BY l_orderkey
+        ORDER BY revenue DESC
+        LIMIT 10
+        """
+        out = Engine(small_db).execute(plan_sql(sql, small_db))
+        ref = Engine(small_db).execute(tpch.query(3))
+        got = {r[0]: r[1] for r in out.to_rows()}
+        expected = {r[0]: r[1] for r in ref.to_rows()}
+        assert got == expected
+
+    def test_sql_plans_offload_like_builder_plans(self, small_db):
+        from repro.core import AquomanSimulator, DeviceConfig
+        from repro.util.units import GB
+
+        sql = """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= date '1994-01-01'
+          AND l_shipdate < date '1995-01-01'
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+        """
+        config = DeviceConfig(dram_bytes=40 * GB, scale_ratio=1e5)
+        plan = plan_sql(sql, small_db)
+        result = AquomanSimulator(small_db, config).run(plan, query="q6sql")
+        baseline = Engine(small_db).execute(plan_sql(sql, small_db))
+        assert baseline.equals(result.table.renamed("result"))
+        assert result.trace.offload_fraction_rows > 0.99
+
+    def test_q14_style_case_when(self, small_db):
+        sql = """
+        SELECT 100 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                              THEN l_extendedprice * (1 - l_discount)
+                              ELSE 0.00 END)
+                   / sum(l_extendedprice * (1 - l_discount))
+               AS promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= date '1995-09-01'
+          AND l_shipdate < date '1995-10-01'
+        """
+        # The ratio-of-sums needs the aggregate outputs; expressed as a
+        # single aggregate item the parser accepts it but the planner
+        # only supports aggregate-per-item, so express as two items.
+        sql2 = """
+        SELECT sum(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE 0.00 END) AS sum_promo,
+               sum(l_extendedprice * (1 - l_discount)) AS sum_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= date '1995-09-01'
+          AND l_shipdate < date '1995-10-01'
+        """
+        out = Engine(small_db).execute(plan_sql(sql2, small_db))
+        ref = Engine(small_db).execute(tpch.query(14))
+        (sum_promo, sum_revenue), = out.to_rows()
+        (promo_revenue,), = ref.to_rows()
+        assert 100 * sum_promo / sum_revenue == pytest.approx(
+            promo_revenue, rel=1e-9
+        )

@@ -1,0 +1,82 @@
+"""Plan nodes and the builder DSL."""
+
+import pytest
+
+from repro.sqlir import (
+    Aggregate,
+    AggFunc,
+    Distinct,
+    Filter,
+    Join,
+    JoinKind,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    col,
+    scan,
+)
+from repro.sqlir.builder import desc
+
+
+class TestBuilder:
+    def test_chain_builds_expected_tree(self):
+        plan = (
+            scan("t", ("a", "b"))
+            .filter(col("a") > 1)
+            .project(x=col("b"))
+            .aggregate(keys=("x",), aggs=[("n", AggFunc.COUNT, None)])
+            .sort("x")
+            .limit(5)
+            .plan
+        )
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == [
+            "Scan", "Filter", "Project", "Aggregate", "Sort", "Limit",
+        ]
+
+    def test_scan_columns_tuple(self):
+        node = scan("t", ["a", "b"]).plan
+        assert node.columns == ("a", "b")
+        assert scan("t").plan.columns is None
+
+    def test_join_accepts_builder_or_plan(self):
+        right = scan("r")
+        j1 = scan("l").join(right, "k", "k2").plan
+        j2 = scan("l").join(right.plan, "k", "k2").plan
+        assert isinstance(j1, Join) and isinstance(j2, Join)
+        assert j1.kind is JoinKind.INNER
+
+    def test_sort_desc_helper(self):
+        node = scan("t").sort(desc("a"), "b").plan
+        assert node.keys == (SortKey("a", False), SortKey("b", True))
+
+    def test_sort_desc_method(self):
+        node = scan("t").sort_desc("a").plan
+        assert node.keys[0].ascending is False
+
+    def test_distinct(self):
+        assert isinstance(scan("t").distinct().plan, Distinct)
+
+    def test_project_items_preserves_order(self):
+        node = scan("t").project_items(
+            [("z", col("a")), ("a", col("b"))]
+        ).plan
+        assert node.names == ["z", "a"]
+
+
+class TestPlanWalk:
+    def test_walk_is_postorder(self):
+        plan = scan("l").join(scan("r"), "k", "k").plan
+        names = [type(n).__name__ for n in plan.walk()]
+        assert names == ["Scan", "Scan", "Join"]
+
+    def test_base_tables(self):
+        plan = scan("l").join(scan("r"), "k", "k").filter(col("x") > 1).plan
+        assert plan.base_tables() == {"l", "r"}
+
+    def test_reprs_are_informative(self):
+        assert "Scan(t[a])" in repr(scan("t", ("a",)).plan)
+        assert "inner" in repr(scan("l").join(scan("r"), "a", "b").plan)
+        assert "Limit(3)" in repr(scan("t").limit(3).plan)

@@ -1,0 +1,267 @@
+"""Storage substrate: types, heaps, columns, tables, catalog, layout."""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import (
+    CHAR,
+    DATE,
+    DECIMAL,
+    INT32,
+    INT64,
+    Catalog,
+    Column,
+    ColumnExtent,
+    FlashLayout,
+    ForeignKey,
+    StringHeap,
+    Table,
+    date_to_days,
+    days_to_date,
+    decimal_to_int,
+    int_to_decimal,
+)
+from repro.storage.catalog import join_index_name
+from repro.storage.layout import PAGE_BYTES
+
+
+class TestTypes:
+    def test_decimal_roundtrip(self):
+        assert int_to_decimal(decimal_to_int(12.34)) == 12.34
+        assert decimal_to_int("0.05") == 5
+
+    def test_decimal_negative(self):
+        assert decimal_to_int(-999.99) == -99999
+
+    def test_date_roundtrip(self):
+        assert days_to_date(date_to_days("1998-09-02")) == datetime.date(
+            1998, 9, 2
+        )
+
+    def test_date_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_type_widths(self):
+        assert INT32.width == 4
+        assert INT64.width == 8
+        assert DECIMAL.width == 8
+        assert DATE.width == 4
+        assert CHAR.width == 4
+
+    @given(st.integers(-(10**12), 10**12))
+    def test_decimal_int_roundtrip_property(self, cents):
+        assert decimal_to_int(int_to_decimal(cents)) == cents
+
+
+class TestStringHeap:
+    def test_interning_dedupes(self):
+        heap = StringHeap()
+        a = heap.encode("FRANCE")
+        b = heap.encode("FRANCE")
+        assert a == b
+        assert heap.unique_count == 1
+
+    def test_codes_are_dense(self):
+        heap, codes = StringHeap.from_values(["a", "b", "a", "c"])
+        assert codes.tolist() == [0, 1, 0, 2]
+
+    def test_decode_many(self):
+        heap, codes = StringHeap.from_values(["x", "y", "x"])
+        assert heap.decode_many(codes) == ["x", "y", "x"]
+
+    def test_heap_bytes_counts_unique_payload(self):
+        heap = StringHeap()
+        heap.encode("ab")   # 2 + 1 NUL
+        heap.encode("ab")
+        heap.encode("cde")  # 3 + 1
+        assert heap.heap_bytes == 7
+
+    def test_lookup_missing(self):
+        heap = StringHeap()
+        assert heap.lookup("nope") is None
+        assert "nope" not in heap
+
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=40))
+    def test_roundtrip_property(self, values):
+        heap, codes = StringHeap.from_values(values)
+        assert heap.decode_many(codes) == values
+        assert heap.unique_count == len(set(values))
+
+
+class TestColumn:
+    def test_from_logical_decimal(self):
+        col = Column.from_logical("price", DECIMAL, [1.5, 2.25])
+        assert col.values.tolist() == [150, 225]
+        assert col.logical() == [1.5, 2.25]
+
+    def test_from_logical_date(self):
+        col = Column.from_logical("d", DATE, ["1992-01-01"])
+        assert col.logical_value(0) == datetime.date(1992, 1, 1)
+
+    def test_strings_builds_heap(self):
+        col = Column.strings("name", ["a", "b", "a"])
+        assert col.heap.unique_count == 2
+        assert col.logical() == ["a", "b", "a"]
+
+    def test_string_column_requires_heap(self):
+        with pytest.raises(ValueError):
+            Column("x", CHAR, np.array([0], dtype=np.int32))
+
+    def test_non_string_rejects_heap(self):
+        heap = StringHeap()
+        with pytest.raises(ValueError):
+            Column("x", INT32, np.array([0]), heap)
+
+    def test_take_preserves_heap(self):
+        col = Column.strings("n", ["a", "b", "c"])
+        taken = col.take(np.array([2, 0]))
+        assert taken.logical() == ["c", "a"]
+        assert taken.heap is col.heap
+
+    def test_nbytes(self):
+        col = Column("k", INT32, np.arange(10, dtype=np.int32))
+        assert col.nbytes == 40
+
+
+class TestTable:
+    def _table(self):
+        return Table(
+            "t",
+            [
+                Column("k", INT64, np.array([1, 2, 3])),
+                Column.strings("s", ["x", "y", "x"]),
+            ],
+        )
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [
+                    Column("a", INT64, np.array([1])),
+                    Column("b", INT64, np.array([1, 2])),
+                ],
+            )
+
+    def test_duplicate_names_rejected(self):
+        c = Column("a", INT64, np.array([1]))
+        with pytest.raises(ValueError):
+            Table("t", [c, c])
+
+    def test_unknown_column_mentions_candidates(self):
+        with pytest.raises(KeyError, match="columns are"):
+            self._table().column("missing")
+
+    def test_take_and_rows(self):
+        t = self._table().take(np.array([2, 1]))
+        assert t.to_rows() == [(3, "x"), (2, "y")]
+
+    def test_select_projects_in_order(self):
+        t = self._table().select(["s", "k"])
+        assert t.column_names == ["s", "k"]
+
+    def test_equals_ordered_and_bag(self):
+        t = self._table()
+        shuffled = t.take(np.array([2, 1, 0]))
+        assert not t.equals(shuffled)
+        assert t.equals(shuffled, ordered=False)
+
+    def test_with_column_replaces(self):
+        t = self._table().with_column(
+            Column("k", INT64, np.array([9, 9, 9]))
+        )
+        assert t.column("k").values.tolist() == [9, 9, 9]
+        assert len(t.columns) == 2
+
+    def test_head_renders(self):
+        text = self._table().head(2)
+        assert "k | s" in text
+        assert "1 | x" in text
+
+
+class TestCatalog:
+    def _catalog(self):
+        cat = Catalog()
+        pk = Table(
+            "dim",
+            [
+                Column("d_key", INT64, np.array([10, 20, 30])),
+                Column.strings("d_name", ["a", "b", "c"]),
+            ],
+        )
+        fact = Table(
+            "fact",
+            [
+                Column("f_key", INT64, np.array([20, 10, 20, 30])),
+            ],
+        )
+        cat.add_table(pk, primary_key="d_key")
+        cat.add_table(fact)
+        return cat
+
+    def test_join_index_materialised(self):
+        cat = self._catalog()
+        cat.add_foreign_key(ForeignKey("fact", "f_key", "dim", "d_key"))
+        idx = cat.table("fact").column(join_index_name("f_key"))
+        assert idx.values.tolist() == [1, 0, 1, 2]
+
+    def test_dangling_fk_rejected(self):
+        cat = self._catalog()
+        bad = Table("bad", [Column("b_key", INT64, np.array([99]))])
+        cat.add_table(bad)
+        with pytest.raises(ValueError, match="dangling"):
+            cat.add_foreign_key(ForeignKey("bad", "b_key", "dim", "d_key"))
+
+    def test_duplicate_table_rejected(self):
+        cat = self._catalog()
+        with pytest.raises(ValueError):
+            cat.add_table(Table("dim", [Column("x", INT64, np.array([1]))]))
+
+    def test_primary_key_must_exist(self):
+        cat = Catalog()
+        t = Table("t", [Column("a", INT64, np.array([1]))])
+        with pytest.raises(KeyError):
+            cat.add_table(t, primary_key="zzz")
+
+    def test_foreign_key_lookup(self):
+        cat = self._catalog()
+        cat.add_foreign_key(ForeignKey("fact", "f_key", "dim", "d_key"))
+        fk = cat.foreign_key_for("fact", "f_key")
+        assert fk.ref_table == "dim"
+        assert cat.foreign_key_for("fact", "nope") is None
+
+
+class TestFlashLayout:
+    def test_extents_are_disjoint_and_cover(self, tiny_db):
+        layout = FlashLayout(tiny_db)
+        extents = sorted(layout.extents(), key=lambda e: e.first_page)
+        cursor = 0
+        for e in extents:
+            assert e.first_page == cursor
+            cursor += e.n_pages
+        assert cursor == layout.total_pages
+
+    def test_column_bytes_fit_extent(self, tiny_db):
+        layout = FlashLayout(tiny_db)
+        for e in layout.extents():
+            assert e.n_pages * PAGE_BYTES >= e.nrows * e.value_width
+
+    def test_pages_for_rows(self):
+        e = ColumnExtent("t", "c", first_page=10, n_pages=4,
+                         value_width=4, nrows=8000)
+        per_page = PAGE_BYTES // 4
+        assert list(e.pages_for_rows(0, 1)) == [10]
+        assert list(e.pages_for_rows(per_page, 1)) == [11]
+        assert list(e.pages_for_rows(0, per_page + 1)) == [10, 11]
+        assert list(e.pages_for_rows(0, 0)) == []
+
+    def test_page_for_row_vector(self):
+        e = ColumnExtent("t", "c", first_page=0, n_pages=2,
+                         value_width=4, nrows=4096)
+        assert e.page_for_row_vector(0) == 0
+        assert e.page_for_row_vector(63) == 0
+        assert e.page_for_row_vector(64) == 1

@@ -1,0 +1,82 @@
+"""On-disk column files: save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro import tpch
+from repro.engine import Engine
+from repro.storage.catalog import join_index_name
+from repro.storage.io import load_catalog, save_catalog
+
+
+class TestRoundTrip:
+    def test_full_catalog_roundtrip(self, tiny_db, tmp_path):
+        save_catalog(tiny_db, tmp_path)
+        loaded = load_catalog(tmp_path)
+
+        assert loaded.table_names() == tiny_db.table_names()
+        assert loaded.scale_factor == tiny_db.scale_factor
+        assert loaded.seed == tiny_db.seed
+        assert loaded.constant_tables == tiny_db.constant_tables
+        for name in tiny_db.table_names():
+            assert loaded.table(name).equals(tiny_db.table(name))
+
+    def test_join_indices_persisted_not_recomputed(self, tiny_db, tmp_path):
+        save_catalog(tiny_db, tmp_path)
+        loaded = load_catalog(tmp_path)
+        original = tiny_db.table("lineitem").column(
+            join_index_name("l_orderkey")
+        )
+        restored = loaded.table("lineitem").column(
+            join_index_name("l_orderkey")
+        )
+        assert np.array_equal(original.values, restored.values)
+        assert loaded.foreign_key_for("lineitem", "l_orderkey") is not None
+
+    def test_queries_match_after_reload(self, tiny_db, tmp_path):
+        save_catalog(tiny_db, tmp_path)
+        loaded = load_catalog(tmp_path)
+        for n in (1, 3, 6):
+            a = Engine(tiny_db).execute(tpch.query(n))
+            b = Engine(loaded).execute(tpch.query(n))
+            assert a.equals(b)
+
+    def test_device_runs_on_reloaded_catalog(self, tiny_db, tmp_path):
+        from repro.core import AquomanSimulator, DeviceConfig
+        from repro.util.units import GB
+
+        save_catalog(tiny_db, tmp_path)
+        loaded = load_catalog(tmp_path)
+        cfg = DeviceConfig(dram_bytes=40 * GB, scale_ratio=1e6)
+        result = AquomanSimulator(loaded, cfg).run(tpch.query(6))
+        baseline = Engine(tiny_db).execute(tpch.query(6))
+        assert baseline.equals(result.table.renamed("result"))
+
+    def test_layout_one_file_per_column(self, tiny_db, tmp_path):
+        save_catalog(tiny_db, tmp_path)
+        lineitem_dir = tmp_path / "lineitem"
+        bins = list(lineitem_dir.glob("*.bin"))
+        heaps = list(lineitem_dir.glob("*.heap"))
+        table = tiny_db.table("lineitem")
+        assert len(bins) == len(table.columns)
+        assert len(heaps) == sum(
+            1 for c in table.columns if c.heap is not None
+        )
+
+    def test_corrupt_length_detected(self, tiny_db, tmp_path):
+        save_catalog(tiny_db, tmp_path)
+        victim = tmp_path / "nation" / "n_nationkey.bin"
+        victim.write_bytes(victim.read_bytes()[:-4])
+        with pytest.raises(ValueError, match="manifest says"):
+            load_catalog(tmp_path)
+
+    def test_string_heap_with_empty_string(self, tmp_path):
+        from repro.storage import Catalog, Column, Table
+
+        cat = Catalog()
+        cat.add_table(
+            Table("t", [Column.strings("s", ["", "x", "", "y"])])
+        )
+        save_catalog(cat, tmp_path)
+        loaded = load_catalog(tmp_path)
+        assert loaded.table("t").column("s").logical() == ["", "x", "", "y"]

@@ -1,0 +1,225 @@
+"""dbgen spec conformance: cardinalities, domains, consistency rules."""
+
+import numpy as np
+import pytest
+
+from repro import tpch
+from repro.storage.catalog import join_index_name
+from repro.storage.types import date_to_days
+from repro.tpch.schema import (
+    CURRENT_DATE,
+    END_DATE,
+    MKT_SEGMENTS,
+    NATIONS,
+    ORDER_DATE_TAIL_DAYS,
+    REGIONS,
+    SHIP_MODES,
+    START_DATE,
+    table_cardinality,
+)
+
+
+class TestCardinalities:
+    def test_constant_tables(self, small_db):
+        assert small_db.table("region").nrows == 5
+        assert small_db.table("nation").nrows == 25
+
+    def test_scaling_tables(self, small_db):
+        assert small_db.table("supplier").nrows == 100
+        assert small_db.table("customer").nrows == 1500
+        assert small_db.table("part").nrows == 2000
+        assert small_db.table("partsupp").nrows == 8000
+        assert small_db.table("orders").nrows == 15000
+
+    def test_lineitem_one_to_seven_per_order(self, small_db):
+        li = small_db.table("lineitem")
+        counts = np.bincount(li.column("l_orderkey").values)
+        per_order = counts[1:]
+        assert per_order.min() >= 1
+        assert per_order.max() <= 7
+
+    def test_cardinality_helper(self):
+        assert table_cardinality("orders", 1.0) == 1_500_000
+        assert table_cardinality("region", 1000) == 5
+        with pytest.raises(KeyError):
+            table_cardinality("nope", 1.0)
+
+    def test_reproducible_across_calls(self):
+        a = tpch.generate(0.001)
+        b = tpch.generate(0.001)
+        assert a.table("lineitem").equals(b.table("lineitem"))
+
+    def test_seed_changes_data(self):
+        a = tpch.generate(0.001, seed=1)
+        b = tpch.generate(0.001, seed=2)
+        assert not a.table("lineitem").equals(b.table("lineitem"))
+
+
+class TestDomains:
+    def test_region_names(self, small_db):
+        assert small_db.table("region").column("r_name").logical() == list(
+            REGIONS
+        )
+
+    def test_nation_region_mapping(self, small_db):
+        t = small_db.table("nation")
+        got = list(
+            zip(t.column("n_name").logical(),
+                t.column("n_regionkey").logical())
+        )
+        assert got == list(NATIONS)
+
+    def test_mktsegments(self, small_db):
+        segs = set(small_db.table("customer").column("c_mktsegment").logical())
+        assert segs <= set(MKT_SEGMENTS)
+
+    def test_shipmodes(self, small_db):
+        modes = set(small_db.table("lineitem").column("l_shipmode").logical())
+        assert modes == set(SHIP_MODES)
+
+    def test_brand_derives_from_mfgr(self, small_db):
+        part = small_db.table("part")
+        for mfgr, brand in zip(
+            part.column("p_mfgr").logical()[:200],
+            part.column("p_brand").logical()[:200],
+        ):
+            assert brand.startswith("Brand#" + mfgr[-1])
+
+    def test_part_name_is_five_colors(self, small_db):
+        names = small_db.table("part").column("p_name").logical()[:50]
+        assert all(len(n.split()) == 5 for n in names)
+
+    def test_retailprice_formula(self, small_db):
+        part = small_db.table("part")
+        pk = part.column("p_partkey").values.astype(np.int64)
+        cents = part.column("p_retailprice").values
+        expected = 90000 + (pk // 10) % 20001 + 100 * (pk % 1000)
+        assert np.array_equal(cents, expected)
+
+    def test_phone_country_code_is_nation_plus_10(self, small_db):
+        cust = small_db.table("customer")
+        nk = cust.column("c_nationkey").logical()[:100]
+        phones = cust.column("c_phone").logical()[:100]
+        assert all(p.startswith(str(n + 10) + "-") for n, p in zip(nk, phones))
+
+    def test_sizes_in_range(self, small_db):
+        sizes = small_db.table("part").column("p_size").values
+        assert sizes.min() >= 1 and sizes.max() <= 50
+
+
+class TestConsistency:
+    def test_referential_integrity_via_join_indices(self, small_db):
+        # add_foreign_key would have raised on dangling keys; spot-check
+        # that the materialised index actually points at matching rows.
+        li = small_db.table("lineitem")
+        orders = small_db.table("orders")
+        idx = li.column(join_index_name("l_orderkey")).values[:500]
+        keys = li.column("l_orderkey").values[:500]
+        assert np.array_equal(
+            orders.column("o_orderkey").values[idx], keys
+        )
+
+    def test_customers_divisible_by_three_never_order(self, small_db):
+        custkeys = small_db.table("orders").column("o_custkey").values
+        assert (custkeys % 3 != 0).all()
+
+    def test_totalprice_matches_lineitems(self, small_db):
+        li = small_db.table("lineitem")
+        orders = small_db.table("orders")
+        charge = (
+            li.column("l_extendedprice").values
+            * (100 - li.column("l_discount").values)
+            * (100 + li.column("l_tax").values)
+        )
+        totals = np.zeros(orders.nrows, dtype=np.int64)
+        np.add.at(totals, li.column("l_orderkey").values - 1, charge)
+        assert np.array_equal(
+            orders.column("o_totalprice").values, totals // 10_000
+        )
+
+    def test_orderstatus_derived_from_linestatus(self, small_db):
+        li = small_db.table("lineitem")
+        orders = small_db.table("orders")
+        status = np.array(orders.column("o_orderstatus").logical())
+        is_f = np.array(li.column("l_linestatus").logical()) == "F"
+        n_f = np.zeros(orders.nrows, dtype=np.int64)
+        n = np.zeros(orders.nrows, dtype=np.int64)
+        np.add.at(n_f, li.column("l_orderkey").values - 1, is_f)
+        np.add.at(n, li.column("l_orderkey").values - 1, 1)
+        assert (status[n_f == n] == "F").all()
+        assert (status[n_f == 0] == "O").all()
+        mixed = (n_f > 0) & (n_f < n)
+        assert (status[mixed] == "P").all()
+
+    def test_date_windows(self, small_db):
+        orders = small_db.table("orders").column("o_orderdate").values
+        assert orders.min() >= date_to_days(START_DATE)
+        assert orders.max() <= date_to_days(END_DATE) - ORDER_DATE_TAIL_DAYS
+        li = small_db.table("lineitem")
+        odate = orders[li.column("l_orderkey").values - 1]
+        ship = li.column("l_shipdate").values
+        receipt = li.column("l_receiptdate").values
+        assert ((ship - odate) >= 1).all()
+        assert ((ship - odate) <= 121).all()
+        assert ((receipt - ship) >= 1).all()
+        assert ((receipt - ship) <= 30).all()
+
+    def test_returnflag_rule(self, small_db):
+        li = small_db.table("lineitem")
+        flags = np.array(li.column("l_returnflag").logical())
+        receipt = li.column("l_receiptdate").values
+        current = date_to_days(CURRENT_DATE)
+        assert set(flags[receipt <= current]) <= {"R", "A"}
+        assert set(flags[receipt > current]) == {"N"}
+
+    def test_suppliers_per_part_is_four(self, small_db):
+        ps = small_db.table("partsupp")
+        counts = np.bincount(ps.column("ps_partkey").values)[1:]
+        assert (counts == 4).all()
+
+    def test_lineitem_suppkey_is_a_partsupp_supplier(self, small_db):
+        li = small_db.table("lineitem")
+        ps = small_db.table("partsupp")
+        valid = set(
+            zip(
+                ps.column("ps_partkey").values.tolist(),
+                ps.column("ps_suppkey").values.tolist(),
+            )
+        )
+        pairs = zip(
+            li.column("l_partkey").values[:1000].tolist(),
+            li.column("l_suppkey").values[:1000].tolist(),
+        )
+        assert all(p in valid for p in pairs)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            tpch.generate(0)
+
+
+class TestTextMarkers:
+    def test_special_requests_injected(self, small_db):
+        comments = small_db.table("orders").column("o_comment")
+        import re
+
+        pattern = re.compile(r"special.*requests")
+        hits = sum(
+            1 for s in comments.heap.strings() if pattern.search(s)
+        )
+        assert hits > 0
+
+    def test_heap_sizes_scale_for_comments(self):
+        small = tpch.generate(0.001)
+        big = tpch.generate(0.004)
+        assert (
+            big.table("orders").column("o_comment").heap_bytes
+            > 2 * small.table("orders").column("o_comment").heap_bytes
+        )
+
+    def test_enum_heaps_do_not_scale(self):
+        small = tpch.generate(0.001)
+        big = tpch.generate(0.004)
+        assert (
+            big.table("lineitem").column("l_shipmode").heap.unique_count
+            == small.table("lineitem").column("l_shipmode").heap.unique_count
+        )

@@ -1,0 +1,60 @@
+"""Units and RNG stream helpers."""
+
+from repro.util.rng import RngStream
+from repro.util.units import GB, KB, MB, TB, fmt_bytes, fmt_rate, fmt_seconds
+
+
+class TestUnits:
+    def test_binary_scales(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(8 * KB) == "8.0KB"
+        assert fmt_bytes(40 * GB) == "40.0GB"
+        assert fmt_bytes(512) == "512B"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(2.4 * GB) == "2.4GB/s"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(93.0) == "93.0s"
+        assert fmt_seconds(0.00213) == "2.13ms"
+        assert fmt_seconds(5e-6) == "5.0us"
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(7).integers(0, 100, size=10)
+        b = RngStream(7).integers(0, 100, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStream(7).integers(0, 10**9, size=10)
+        b = RngStream(8).integers(0, 10**9, size=10)
+        assert (a != b).any()
+
+    def test_children_are_independent_of_consumption(self):
+        root1 = RngStream(7)
+        root1.integers(0, 100, size=1000)  # consume the parent
+        root2 = RngStream(7)
+        a = root1.child("x").integers(0, 10**9, size=5)
+        b = root2.child("x").integers(0, 10**9, size=5)
+        assert (a == b).all()
+
+    def test_sibling_children_differ(self):
+        root = RngStream(7)
+        a = root.child("x").integers(0, 10**9, size=5)
+        b = root.child("y").integers(0, 10**9, size=5)
+        assert (a != b).any()
+
+    def test_integers_inclusive_bounds(self):
+        draws = RngStream(1).integers(3, 4, size=200)
+        assert set(draws.tolist()) == {3, 4}
+
+    def test_nested_child_paths(self):
+        a = RngStream(7).child("a").child("b").integers(0, 10**9, size=3)
+        b = RngStream(7).child("a").child("b").integers(0, 10**9, size=3)
+        assert (a == b).all()
