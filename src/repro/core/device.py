@@ -42,7 +42,7 @@ from repro.sqlir.expr import (
     evaluate,
 )
 from repro.storage.catalog import Catalog
-from repro.storage.layout import PAGE_BYTES, FlashLayout
+from repro.storage.layout import PAGE_BYTES, ROW_VECTOR_SIZE, FlashLayout
 from repro.util.bitvector import BitVector
 from repro.util.units import GB
 
@@ -59,6 +59,11 @@ class DeviceConfig:
     pe_imem_size: int | None = None  # None = "as big as needed" (Sec. VII)
     scale_ratio: float = 1.0         # simulated SF / data SF
     flash: FlashConfig = field(default_factory=FlashConfig)
+    # Streaming knobs: rows per morsel fed through the selector/
+    # transformer pipeline (None = monolithic, the original behaviour)
+    # and worker threads evaluating independent morsels.
+    morsel_rows: int | None = None
+    n_workers: int = 1
 
 
 @dataclass
@@ -197,11 +202,59 @@ class AquomanDevice:
             col = base.column(name)
             self.charge_column_read(task.table, name, None)
             columns[name] = col.values
-        selected = self.row_selector.select(
-            task.row_sel, columns, base.nrows, mask
-        )
+        if self.config.morsel_rows:
+            selected = self._select_streamed(
+                task.row_sel, columns, base.nrows, mask
+            )
+        else:
+            selected = self.row_selector.select(
+                task.row_sel, columns, base.nrows, mask
+            )
         self.meters.rows_selected += selected.count()
         return selected
+
+    def _select_streamed(
+        self, program, columns, nrows: int, mask: BitVector | None
+    ) -> BitVector:
+        """Row Selector over morsel-sized chunks of the column stream.
+
+        Chunks are independent, so with ``n_workers > 1`` they run on a
+        thread pool (the comparison kernels release the GIL); the
+        concatenated chunk masks are bit-identical to one monolithic
+        select, and the selector meters are charged the monolithic
+        amounts so traces stay comparable across configurations.
+        """
+        step = self.config.morsel_rows
+        spans = [
+            (lo, min(lo + step, nrows)) for lo in range(0, nrows, step)
+        ]
+
+        def run_span(span):
+            lo, hi = span
+            chunk_cols = {n: v[lo:hi] for n, v in columns.items()}
+            base_chunk = (
+                BitVector(mask.bits[lo:hi]) if mask is not None else None
+            )
+            sel = RowSelector(self.config.n_predicate_evaluators)
+            return sel.select(program, chunk_cols, hi - lo, base_chunk).bits
+
+        if self.config.n_workers > 1 and len(spans) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=self.config.n_workers
+            ) as pool:
+                parts = list(pool.map(run_span, spans))
+        else:
+            parts = [run_span(span) for span in spans]
+        bits = (
+            np.concatenate(parts)
+            if parts
+            else np.ones(nrows, dtype=np.bool_)
+        )
+        self.row_selector.rows_scanned += nrows
+        self.row_selector.masks_produced += -(-nrows // ROW_VECTOR_SIZE)
+        return BitVector(bits)
 
     def _run_row_transformer(
         self, task: TableTask, base, mask: BitVector | None
@@ -223,13 +276,31 @@ class AquomanDevice:
             self.charge_column_read(task.table, name, mask)
             arr = typed_array_from_column(col)
             raw_columns[name] = TypedArray(
-                arr.values[rowids], arr.kind, arr.scale, arr.heap
+                self._gather(arr.values, rowids), arr.kind, arr.scale,
+                arr.heap,
             )
         raw_columns[ROWID] = TypedArray(rowids, Kind.INT, 0)
 
         outputs = self._transform(task.row_transf, raw_columns, len(rowids))
         self.meters.rows_transformed += len(rowids)
         return outputs
+
+    def _gather(self, values: np.ndarray, rowids: np.ndarray) -> np.ndarray:
+        """Gather selected rows, morsel-at-a-time when streaming.
+
+        Per-morsel fancy indexing touches only the pages holding the
+        morsel's selected rows — on an mmap-backed column this is the
+        physical half of the Table Reader's page skip.  Concatenating
+        the chunk gathers equals one monolithic gather exactly.
+        """
+        step = self.config.morsel_rows
+        if not step or len(rowids) <= step:
+            return values[rowids]
+        cuts = np.searchsorted(
+            rowids, np.arange(step, len(values), step, dtype=np.int64)
+        )
+        parts = [p for p in np.split(rowids, cuts) if len(p)]
+        return np.concatenate([values[p] for p in parts])
 
     def _transform(
         self,
@@ -411,20 +482,32 @@ class AquomanDevice:
         for name, func, column in args["aggs"]:
             arr = stream.column(column)
             values = arr.values.astype(np.int64)
-            if func == "sum":
-                result = values.sum() if len(values) else 0
-            elif func == "min":
-                result = values.min() if len(values) else 0
-            elif func == "max":
-                result = values.max() if len(values) else 0
-            elif func == "cnt":
-                result = len(values)
-            else:
-                raise ValueError(f"unknown aggregate {func!r}")
+            result = self._reduce_stream(func, values)
             out[name] = TypedArray(
                 np.array([result], dtype=np.int64), arr.kind, arr.scale
             )
         return Relation(out)
+
+    def _reduce_stream(self, func: str, values: np.ndarray):
+        """AGGREGATE one int64 stream, morsel partials when streaming.
+
+        All four Swissknife scalar aggregates are associative on int64,
+        so merging per-morsel partials (sum of sums, min of mins, ...)
+        is exact — unlike floats, there is no rounding order to care
+        about.
+        """
+        step = self.config.morsel_rows
+        if step and len(values) > step:
+            partials = np.array(
+                [
+                    _reduce_int(func, values[lo:lo + step])
+                    for lo in range(0, len(values), step)
+                ],
+                dtype=np.int64,
+            )
+            merge = "sum" if func == "cnt" else func
+            return _reduce_int(merge, partials)
+        return _reduce_int(func, values)
 
     def _swiss_groupby(self, stream: Relation, args: dict) -> Relation:
         keys: list[str] = args["keys"]
@@ -522,6 +605,18 @@ class AquomanDevice:
         accel = TopKAccelerator(k=args["k"])
         top = accel.run(stream.column(key).values.astype(np.int64))
         return Relation({key: TypedArray(top, Kind.INT, 0)})
+
+
+def _reduce_int(func: str, values: np.ndarray):
+    if func == "sum":
+        return values.sum() if len(values) else 0
+    if func == "min":
+        return values.min() if len(values) else 0
+    if func == "max":
+        return values.max() if len(values) else 0
+    if func == "cnt":
+        return len(values)
+    raise ValueError(f"unknown aggregate {func!r}")
 
 
 def effective_heap_bytes(

@@ -80,9 +80,9 @@ class ColumnPredicate:
     constant: int
 
     def evaluate(self, values: np.ndarray) -> np.ndarray:
-        return _NUMPY_PREDICATE[self.op](
-            values.astype(np.int64), np.int64(self.constant)
-        )
+        if values.dtype != np.int64:
+            values = values.astype(np.int64)
+        return _NUMPY_PREDICATE[self.op](values, np.int64(self.constant))
 
     def __repr__(self) -> str:
         return f"CP({self.column} {self.op.value} {self.constant})"
@@ -218,8 +218,16 @@ class RowSelector:
             if base_mask is not None
             else np.ones(nrows, dtype=np.bool_)
         )
+        # Cast each column to the comparison domain once, not per term —
+        # a column referenced by k CP terms was previously copied k times.
+        cast: dict[str, np.ndarray] = {}
+        for name in program.columns:
+            values = columns[name]
+            if values.dtype != np.int64:
+                values = values.astype(np.int64)
+            cast[name] = values
         for term in program.terms:
-            mask &= term.evaluate(columns[term.column])
+            mask &= term.evaluate(cast[term.column])
         self.rows_scanned += nrows
         self.masks_produced += -(-nrows // ROW_VECTOR_SIZE)
         return BitVector(mask)

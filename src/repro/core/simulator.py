@@ -209,9 +209,16 @@ class DeviceExecutor:
         # mask) and produce the first-cut row mask.
         for term in program.terms:
             self._consume(dev, term.column)
+        # One cast per distinct CP column, not one per term.
+        cast: dict[str, np.ndarray] = {}
+        for name in program.columns:
+            values = dev.relation.column(name).values
+            if values.dtype != np.int64:
+                values = values.astype(np.int64)
+            cast[name] = values
         keep = np.ones(nrows, dtype=np.bool_)
         for term in program.terms:
-            keep &= term.evaluate(dev.relation.column(term.column).values)
+            keep &= term.evaluate(cast[term.column])
         self.device.meters.rows_selected += int(keep.sum())
         selected = dev.masked(keep)
 

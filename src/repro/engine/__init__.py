@@ -1,12 +1,14 @@
 """Software baseline engine (the MonetDB stand-in) and host models."""
 
 from repro.engine.executor import Engine, MATCH_FLAG
+from repro.engine.morsel import MorselConfig
 from repro.engine.relation import Relation, typed_array_from_column
 from repro.engine.pagecache import LruPageCache
 
 __all__ = [
     "Engine",
     "MATCH_FLAG",
+    "MorselConfig",
     "Relation",
     "typed_array_from_column",
     "LruPageCache",

@@ -52,11 +52,34 @@ MATCH_FLAG = "@matched"
 
 
 class Engine:
-    """Executes logical plans against a catalog, tracing as it goes."""
+    """Executes logical plans against a catalog, tracing as it goes.
 
-    def __init__(self, catalog: Catalog, trace: QueryTrace | None = None):
+    With a ``morsels`` config (``MorselConfig(parallel=True, ...)``),
+    streamable fragments — scan → Filter/Project chain → mergeable
+    Aggregate/Sort/top-k — run morsel-at-a-time through the morsel
+    executor (page-skip reads, optional worker threads) instead of the
+    monolithic operators; results are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        trace: QueryTrace | None = None,
+        *,
+        morsels=None,
+    ):
         self.catalog = catalog
         self.trace = trace if trace is not None else QueryTrace()
+        self.morsels = morsels
+        self._flash_layout = None
+
+    def flash_layout(self):
+        """Lazy on-flash layout (page extents for the morsel reader)."""
+        if self._flash_layout is None:
+            from repro.storage.layout import FlashLayout
+
+            self._flash_layout = FlashLayout(self.catalog)
+        return self._flash_layout
 
     # -- public API -----------------------------------------------------------
 
@@ -80,6 +103,10 @@ class Engine:
     # -- dispatch ----------------------------------------------------------------
 
     def _run(self, plan: Plan) -> Relation:
+        if self.morsels is not None and self.morsels.parallel:
+            streamed = self._run_morsel(plan)
+            if streamed is not None:
+                return streamed
         handler: Callable = {
             Scan: self._run_scan,
             Filter: self._run_filter,
@@ -91,6 +118,23 @@ class Engine:
             Distinct: self._run_distinct,
         }[type(plan)]
         return handler(plan)
+
+    def _run_morsel(self, plan: Plan) -> Relation | None:
+        """Stream a fragment rooted at ``plan``; None = not streamable."""
+        from repro.engine.morsel import (
+            MorselExecutor,
+            extract_fragment,
+            split_morsels,
+        )
+
+        fragment = extract_fragment(plan, self.catalog)
+        if fragment is None:
+            return None
+        nrows = self.catalog.table(fragment.scan.table).nrows
+        spans = split_morsels(nrows, self.morsels.aligned_rows())
+        if len(spans) < 2:
+            return None  # single-morsel tables gain nothing
+        return MorselExecutor(self, fragment).run(spans)
 
     def _context(self, relation: Relation) -> EvalContext:
         return EvalContext(

@@ -1,0 +1,656 @@
+"""Morsel-driven parallel streaming execution.
+
+AQUOMAN's pipeline is a *stream*: column pages leave the flash channels,
+pass the Row Selector (which emits Row-Mask Vectors), feed the Row
+Transformer, and are reduced by a Swissknife operator — nothing ever
+holds a whole base column.  This module gives the software engine the
+same shape.  A plan fragment rooted at a base-table scan is split into
+page-aligned **morsels**; each morsel runs Row Selector → transform
+chain → partial Swissknife reduction (optionally on a thread pool — the
+NumPy kernels release the GIL), and the partials merge with rules that
+keep the result bit-identical to the monolithic executor:
+
+- Filter/Project chains concatenate in morsel order (row-wise pure
+  expressions commute with splitting);
+- group-by partials re-reduce: group numbering is first-appearance
+  order, which composes under concatenation, and COUNT/INT-SUM/MIN/MAX
+  are associative on int64;
+- sort partials are presorted runs merged by one stable lexsort, so tie
+  order (original row order) survives exactly;
+- top-k partials keep each run's first k rows and re-select.
+
+Aggregates whose merge would change float rounding order (AVG, SUM over
+float values) and COUNT DISTINCT are *not* reduced per morsel: the
+fragment extractor refuses that terminal, the monolithic operator runs
+as usual, and extraction retries on the subtree below it.
+
+Morsels are aligned so every column's page boundary is also a morsel
+boundary; morsels therefore touch disjoint page sets and the per-morsel
+page-skip counts add up exactly in the trace.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.row_selector import RowSelector, extract_predicate_program
+from repro.engine.operators.grouping import (
+    GroupedKeys,
+    aggregate_count,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    group_rows,
+)
+from repro.engine.operators.sorting import multi_key_order
+from repro.engine.relation import Relation
+from repro.flash.channels import ChannelMeter
+from repro.perf.trace import OpTrace
+from repro.sqlir.expr import (
+    AggFunc,
+    EvalContext,
+    Expr,
+    Kind,
+    ScalarSubquery,
+    TypedArray,
+    evaluate,
+)
+from repro.sqlir.plan import (
+    Aggregate,
+    Filter,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.column import Column
+from repro.storage.layout import PAGE_BYTES, FlashLayout
+from repro.storage.types import TypeKind
+
+# An 8 KB page of 1-byte values holds 8192 rows, and every wider value
+# width divides that evenly — so morsels aligned to 8192 rows start on a
+# page boundary for every column of the table.
+MORSEL_ALIGN_ROWS = PAGE_BYTES
+DEFAULT_MORSEL_ROWS = 8 * MORSEL_ALIGN_ROWS
+# The software selector is not bound by the FPGA's 4-evaluator budget.
+HOST_CP_EVALUATORS = 64
+
+_MERGEABLE_FUNCS = (AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN, AggFunc.MAX)
+
+
+@dataclass(frozen=True)
+class MorselConfig:
+    """Streaming knobs for :class:`~repro.engine.executor.Engine`."""
+
+    parallel: bool = True        # off = monolithic execution everywhere
+    morsel_rows: int = DEFAULT_MORSEL_ROWS
+    n_workers: int = 1
+
+    def aligned_rows(self) -> int:
+        """``morsel_rows`` rounded up to the page-alignment quantum."""
+        return max(
+            MORSEL_ALIGN_ROWS,
+            -(-self.morsel_rows // MORSEL_ALIGN_ROWS) * MORSEL_ALIGN_ROWS,
+        )
+
+
+def split_morsels(nrows: int, morsel_rows: int) -> list[tuple[int, int]]:
+    """Row spans ``[lo, hi)`` partitioning ``nrows`` into morsels."""
+    return [
+        (lo, min(lo + morsel_rows, nrows))
+        for lo in range(0, nrows, morsel_rows)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fragment extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fragment:
+    """A streamable subtree: scan → Filter/Project chain → terminal."""
+
+    scan: Scan
+    steps: tuple[Plan, ...]      # Filter/Project nodes, bottom-up order
+    terminal: Plan | None        # Aggregate, Sort, or Limit-over-Sort
+    kind: str                    # "chain" | "aggregate" | "sort" | "topk"
+
+
+def extract_fragment(plan: Plan, catalog) -> Fragment | None:
+    """Carve the largest streamable fragment rooted at ``plan``.
+
+    Returns None when the root is not streamable (the caller's normal
+    dispatch then recurses, and extraction retries on each subtree).
+    """
+    terminal: Plan | None = None
+    kind = "chain"
+    chain: Plan = plan
+    if isinstance(plan, Limit) and isinstance(plan.child, Sort):
+        terminal, kind, chain = plan, "topk", plan.child.child
+    elif isinstance(plan, Sort):
+        terminal, kind, chain = plan, "sort", plan.child
+    elif isinstance(plan, Aggregate):
+        terminal, kind, chain = plan, "aggregate", plan.child
+
+    steps: list[Plan] = []
+    node = chain
+    while isinstance(node, (Filter, Project)):
+        exprs = (
+            [node.predicate]
+            if isinstance(node, Filter)
+            else [e for _, e in node.outputs]
+        )
+        if any(_has_subquery(e) for e in exprs):
+            return None
+        steps.append(node)
+        node = node.child
+    if not isinstance(node, Scan):
+        return None
+    steps.reverse()
+
+    if kind == "aggregate" and not _aggregate_mergeable(
+        terminal, node, steps, catalog
+    ):
+        # Non-mergeable terminal (AVG / float SUM / COUNT DISTINCT):
+        # refuse the whole fragment here; the Aggregate runs
+        # monolithically and extraction retries on its child chain.
+        return None
+    if terminal is None and not steps:
+        return None  # a bare streamed scan saves the host nothing
+    return Fragment(
+        scan=node, steps=tuple(steps), terminal=terminal, kind=kind
+    )
+
+
+def _has_subquery(expr: Expr) -> bool:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ScalarSubquery):
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def _aggregate_mergeable(
+    plan: Aggregate, scan: Scan, steps: list[Plan], catalog
+) -> bool:
+    """True when per-morsel partials merge bit-identically.
+
+    COUNT partials add, MIN/MAX partials re-reduce, and SUM partials
+    add exactly *only* on the int64 domain — float addition is not
+    associative, so AVG and float-valued SUMs stay monolithic.  SUM
+    value kinds are probed by running the chain on a zero-row morsel.
+    """
+    for spec in plan.aggregates:
+        if spec.func not in _MERGEABLE_FUNCS:
+            return False
+        if spec.expr is not None and _has_subquery(spec.expr):
+            return False
+    sums = [s for s in plan.aggregates if s.func is AggFunc.SUM]
+    if not sums:
+        return True
+    try:
+        table = catalog.table(scan.table)
+        names = (
+            scan.columns
+            if scan.columns is not None
+            else tuple(table.column_names)
+        )
+        rel = Relation(
+            {
+                n: _typed_values(
+                    table.column(n), table.column(n).values[:0]
+                )
+                for n in names
+            }
+        )
+        for step in steps:
+            rel = _apply_step(step, rel)
+        ctx = EvalContext(
+            columns=rel.columns, nrows=0, subquery_executor=None
+        )
+        for spec in sums:
+            if evaluate(spec.expr, ctx).kind is Kind.FLOAT:
+                return False
+    except Exception:
+        return False
+    return True
+
+
+def _needed_scan_columns(frag: Fragment) -> set[str] | None:
+    """Scan columns the fragment actually reads (None = all of them).
+
+    Backward dataflow from the fragment's output requirement through the
+    step chain: a Project resets the requirement to the refs of its
+    (needed) outputs, a Filter adds its predicate's refs.
+    """
+    req: set[str] | None
+    if frag.kind == "aggregate":
+        req = set(frag.terminal.keys)
+        for spec in frag.terminal.aggregates:
+            if spec.expr is not None:
+                req |= spec.expr.column_refs()
+    else:
+        req = None  # chain/sort/topk outputs keep every column
+    for step in reversed(frag.steps):
+        if isinstance(step, Project):
+            new: set[str] = set()
+            for name, expr in step.outputs:
+                if req is None or name in req:
+                    new |= expr.column_refs()
+            req = new
+        elif req is not None:
+            req |= step.predicate.column_refs()
+    return req
+
+
+# ---------------------------------------------------------------------------
+# Morsel execution
+# ---------------------------------------------------------------------------
+
+
+def _typed_values(col: Column, values: np.ndarray) -> TypedArray:
+    """Lift raw column values into the evaluation domain.
+
+    Mirrors :func:`~repro.engine.relation.typed_array_from_column` but
+    for a morsel-sized slice or gather of the column.
+    """
+    kind = col.ctype.kind
+    if kind is TypeKind.CHAR:
+        return TypedArray(values, Kind.STR, 0, col.heap)
+    if kind is TypeKind.DECIMAL:
+        return TypedArray(values.astype(np.int64), Kind.INT, 2)
+    if kind is TypeKind.BOOL:
+        return TypedArray(values.astype(np.bool_), Kind.BOOL, 0)
+    return TypedArray(values.astype(np.int64), Kind.INT, 0)
+
+
+def _apply_step(step: Plan, rel: Relation) -> Relation:
+    ctx = EvalContext(
+        columns=rel.columns, nrows=rel.nrows, subquery_executor=None
+    )
+    if isinstance(step, Filter):
+        keep = evaluate(step.predicate, ctx).values.astype(np.bool_)
+        return rel.mask(keep)
+    return Relation(
+        {name: evaluate(expr, ctx) for name, expr in step.outputs}
+    )
+
+
+class _SpanReads:
+    """Per-morsel page accounting: which pages of which columns we read."""
+
+    _FULL = None  # sentinel: whole span streamed
+
+    def __init__(self, layout: FlashLayout, table: str, lo: int, hi: int):
+        self.layout = layout
+        self.table = table
+        self.lo = lo
+        self.hi = hi
+        self._touched: dict[str, np.ndarray | None] = {}
+
+    def full(self, column: str) -> None:
+        self._touched[column] = self._FULL
+
+    def rows(self, column: str, rowids: np.ndarray) -> None:
+        """Charge the pages holding the given global row ids."""
+        if column in self._touched and self._touched[column] is self._FULL:
+            return
+        ext = self.layout.extent(self.table, column)
+        pages = np.unique(rowids // ext.rows_per_page())
+        prev = self._touched.get(column)
+        self._touched[column] = (
+            pages if prev is None else np.union1d(prev, pages)
+        )
+
+    def summary(self):
+        """(pages_read, pages_total, global page ids) for this span."""
+        pages_read: dict[str, int] = {}
+        pages_total: dict[str, int] = {}
+        ids: list[np.ndarray] = []
+        for column, touched in self._touched.items():
+            ext = self.layout.extent(self.table, column)
+            per_page = ext.rows_per_page()
+            span_lo = self.lo // per_page
+            span_hi = -(-self.hi // per_page)
+            pages = (
+                np.arange(span_lo, span_hi, dtype=np.int64)
+                if touched is self._FULL
+                else touched
+            )
+            pages_read[column] = len(pages)
+            pages_total[column] = span_hi - span_lo
+            ids.append(ext.first_page + pages)
+        page_ids = (
+            np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+        )
+        return pages_read, pages_total, page_ids
+
+
+@dataclass
+class _Partial:
+    """One morsel's output plus its I/O accounting."""
+
+    relation: Relation
+    pages_read: dict[str, int]
+    pages_total: dict[str, int]
+    page_ids: np.ndarray
+
+
+class MorselExecutor:
+    """Runs one fragment morsel-at-a-time and merges the partials."""
+
+    def __init__(self, engine, fragment: Fragment):
+        self.engine = engine
+        self.config: MorselConfig = engine.morsels
+        self.trace = engine.trace
+        self.fragment = fragment
+        self.table = engine.catalog.table(fragment.scan.table)
+        self.layout = engine.flash_layout()
+        self.scan_names = (
+            fragment.scan.columns
+            if fragment.scan.columns is not None
+            else tuple(self.table.column_names)
+        )
+        needed = _needed_scan_columns(fragment)
+        self.base_names = (
+            self.scan_names
+            if needed is None
+            else tuple(n for n in self.scan_names if n in needed)
+        )
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self, spans: list[tuple[int, int]]) -> Relation:
+        if self.config.n_workers > 1 and len(spans) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.config.n_workers
+            ) as pool:
+                partials = list(pool.map(self._run_span, spans))
+        else:
+            partials = [self._run_span(span) for span in spans]
+        result = self._merge(partials)
+        self._record(partials, result)
+        return result
+
+    # -- per-morsel pipeline -----------------------------------------------------
+
+    def _run_span(self, span: tuple[int, int]) -> _Partial:
+        lo, hi = span
+        reads = _SpanReads(self.layout, self.table.name, lo, hi)
+        rel, steps_done = self._base_relation(lo, hi, reads)
+        for step in self.fragment.steps[steps_done:]:
+            rel = _apply_step(step, rel)
+        pages_read, pages_total, page_ids = reads.summary()
+        return _Partial(self._partial(rel), pages_read, pages_total,
+                        page_ids)
+
+    def _base_relation(
+        self, lo: int, hi: int, reads: _SpanReads
+    ) -> tuple[Relation, int]:
+        steps = self.fragment.steps
+        if steps and isinstance(steps[0], Filter):
+            return self._filtered_base(steps[0], lo, hi, reads), 1
+        columns = {}
+        for name in self.base_names:
+            col = self.table.column(name)
+            reads.full(name)
+            columns[name] = _typed_values(col, col.slice_rows(lo, hi))
+        return Relation(columns), 0
+
+    def _filtered_base(
+        self, filt: Filter, lo: int, hi: int, reads: _SpanReads
+    ) -> Relation:
+        """Bottom filter: Row Selector first cut, then page-skip gathers.
+
+        CP columns stream whole (the selector sees every row); every
+        other column is gathered at the surviving rows only, so flash
+        pages with no survivor are neither read nor charged — the Table
+        Reader's page skip, end to end.
+        """
+        nrows = hi - lo
+        scales: dict[str, int] = {}
+        excluded: set[str] = set()
+        for name in self.scan_names:
+            kind = self.table.column(name).ctype.kind
+            if kind in (TypeKind.CHAR, TypeKind.BOOL):
+                excluded.add(name)
+            elif kind is TypeKind.DECIMAL:
+                scales[name] = 2
+            else:
+                scales[name] = 0
+        program, leftover = extract_predicate_program(
+            filt.predicate,
+            n_evaluators=HOST_CP_EVALUATORS,
+            string_columns=frozenset(excluded),
+            column_scales=scales,
+        )
+
+        selector = RowSelector(n_evaluators=HOST_CP_EVALUATORS)
+        cp_slices: dict[str, np.ndarray] = {}
+        for name in program.columns:
+            col = self.table.column(name)
+            reads.full(name)
+            cp_slices[name] = col.slice_rows(lo, hi)
+        local = selector.select(program, cp_slices, nrows).indices()
+
+        if leftover is not None:
+            cols = {
+                name: self._gather(name, lo, local, cp_slices, reads)
+                for name in sorted(leftover.column_refs())
+            }
+            ctx = EvalContext(
+                columns=cols, nrows=len(local), subquery_executor=None
+            )
+            keep = evaluate(leftover, ctx).values.astype(np.bool_)
+            local = local[keep]
+
+        columns = {
+            name: self._gather(name, lo, local, cp_slices, reads)
+            for name in self.base_names
+        }
+        return Relation(columns)
+
+    def _gather(
+        self,
+        name: str,
+        lo: int,
+        local: np.ndarray,
+        cp_slices: dict[str, np.ndarray],
+        reads: _SpanReads,
+    ) -> TypedArray:
+        col = self.table.column(name)
+        if name in cp_slices:
+            raw = cp_slices[name][local]
+        else:
+            reads.rows(name, lo + local)
+            raw = col.gather_raw(lo + local)
+        return _typed_values(col, raw)
+
+    # -- partial reduction ---------------------------------------------------------
+
+    def _partial(self, rel: Relation) -> Relation:
+        frag = self.fragment
+        if frag.kind == "chain":
+            return rel
+        if frag.kind == "sort":
+            return rel.take(_sort_order(rel, frag.terminal.keys))
+        if frag.kind == "topk":
+            order = _sort_order(rel, frag.terminal.child.keys)
+            return rel.take(order[: frag.terminal.count])
+        return _aggregate_partial(rel, frag.terminal)
+
+    # -- merge ---------------------------------------------------------------------
+
+    def _merge(self, partials: list[_Partial]) -> Relation:
+        frag = self.fragment
+        merged = _concat_relations([p.relation for p in partials])
+        if frag.kind == "chain":
+            return merged
+        if frag.kind == "sort":
+            return merged.take(_sort_order(merged, frag.terminal.keys))
+        if frag.kind == "topk":
+            order = _sort_order(merged, frag.terminal.child.keys)
+            return merged.take(order[: frag.terminal.count])
+        return self._merge_aggregate(merged, frag.terminal)
+
+    def _merge_aggregate(
+        self, parts: Relation, plan: Aggregate
+    ) -> Relation:
+        """Re-reduce concatenated per-morsel group partials.
+
+        Re-grouping the concatenated key rows reproduces the monolithic
+        group order exactly: first-appearance numbering composes under
+        concatenation in morsel (= row) order.
+        """
+        key_arrays = [parts.column(k) for k in plan.keys]
+        groups = group_rows([k.values for k in key_arrays])
+        if not plan.keys:
+            groups = GroupedKeys(
+                group_of_row=np.zeros(parts.nrows, dtype=np.int64),
+                representative=np.zeros(1, dtype=np.int64),
+            )
+        columns: dict[str, TypedArray] = {}
+        for name, key in zip(plan.keys, key_arrays):
+            columns[name] = TypedArray(
+                key.values[groups.representative],
+                key.kind,
+                key.scale,
+                key.heap,
+            )
+        for spec in plan.aggregates:
+            arr = parts.column(spec.name)
+            ints = arr.values.astype(np.int64)
+            if spec.func is AggFunc.MIN:
+                merged = aggregate_min(ints, groups)
+            elif spec.func is AggFunc.MAX:
+                merged = aggregate_max(ints, groups)
+            else:  # COUNT and SUM partials both add
+                merged = aggregate_sum(ints, groups)
+            columns[spec.name] = TypedArray(merged, arr.kind, arr.scale)
+        out = Relation(columns)
+        if plan.having is not None:
+            ctx = EvalContext(
+                columns=out.columns,
+                nrows=out.nrows,
+                subquery_executor=self.engine.scalar,
+            )
+            keep = evaluate(plan.having, ctx).values.astype(np.bool_)
+            out = out.mask(keep)
+        return out
+
+    # -- trace -----------------------------------------------------------------------
+
+    def _record(self, partials: list[_Partial], result: Relation) -> None:
+        table = self.table.name
+        pages_read: dict[str, int] = {}
+        pages_total: dict[str, int] = {}
+        meter = ChannelMeter()
+        for p in partials:
+            for name, n in p.pages_read.items():
+                pages_read[name] = pages_read.get(name, 0) + n
+            for name, n in p.pages_total.items():
+                pages_total[name] = pages_total.get(name, 0) + n
+            meter.record_pages(p.page_ids)
+        bytes_read = 0
+        for name in pages_read:
+            self.trace.record_flash_pages(
+                table, name, pages_read[name], pages_total[name],
+                PAGE_BYTES,
+            )
+            bytes_read += pages_read[name] * PAGE_BYTES
+        self.trace.record_channel_pages(meter.pages_read)
+        self.trace.record_op(
+            OpTrace(
+                "scan",
+                rows_in=self.table.nrows,
+                rows_out=result.nrows,
+                bytes_in=bytes_read,
+                bytes_out=result.nbytes(),
+                detail=(
+                    f"{table},morsels={len(partials)},"
+                    f"workers={self.config.n_workers},{self.fragment.kind}"
+                ),
+            )
+        )
+        peak_partial = max(
+            (p.relation.nbytes() for p in partials), default=0
+        )
+        self.trace.observe_host_bytes(
+            result.nbytes()
+            + peak_partial * max(1, self.config.n_workers)
+        )
+
+
+def _sort_order(rel: Relation, keys) -> np.ndarray:
+    return multi_key_order(
+        [(rel.column(k.column), k.ascending) for k in keys]
+    )
+
+
+def _aggregate_partial(child: Relation, plan: Aggregate) -> Relation:
+    """One morsel's pre-reduction: key rows + partial accumulators."""
+    ctx = EvalContext(
+        columns=child.columns, nrows=child.nrows, subquery_executor=None
+    )
+    key_arrays = [child.column(k) for k in plan.keys]
+    groups = group_rows([k.values for k in key_arrays])
+    if not plan.keys:
+        groups = GroupedKeys(
+            group_of_row=np.zeros(child.nrows, dtype=np.int64),
+            representative=np.zeros(1, dtype=np.int64),
+        )
+    columns: dict[str, TypedArray] = {}
+    for name, key in zip(plan.keys, key_arrays):
+        columns[name] = TypedArray(
+            key.values[groups.representative],
+            key.kind,
+            key.scale,
+            key.heap,
+        )
+    for spec in plan.aggregates:
+        columns[spec.name] = _partial_one(spec, ctx, groups)
+    return Relation(columns)
+
+
+def _partial_one(spec, ctx: EvalContext, groups: GroupedKeys) -> TypedArray:
+    if spec.func is AggFunc.COUNT and spec.expr is None:
+        return TypedArray(aggregate_count(groups), Kind.INT, 0)
+    values = evaluate(spec.expr, ctx)
+    if spec.func is AggFunc.COUNT:
+        return TypedArray(aggregate_count(groups), Kind.INT, 0)
+    ints = values.values.astype(np.int64)
+    if spec.func is AggFunc.SUM:
+        return TypedArray(
+            aggregate_sum(ints, groups), values.kind, values.scale
+        )
+    if spec.func is AggFunc.MIN:
+        return TypedArray(
+            aggregate_min(ints, groups), values.kind, values.scale
+        )
+    if spec.func is AggFunc.MAX:
+        return TypedArray(
+            aggregate_max(ints, groups), values.kind, values.scale
+        )
+    raise NotImplementedError(spec.func)
+
+
+def _concat_relations(parts: list[Relation]) -> Relation:
+    head = parts[0]
+    columns: dict[str, TypedArray] = {}
+    for name in head.names:
+        arrays = [p.column(name) for p in parts]
+        proto = arrays[0]
+        columns[name] = TypedArray(
+            np.concatenate([a.values for a in arrays]),
+            proto.kind,
+            proto.scale,
+            proto.heap,
+        )
+    return Relation(columns)

@@ -37,9 +37,45 @@ class LruPageCache:
         return False
 
     def access_range(self, first_page: int, n_pages: int) -> int:
-        """Touch a page run; returns the number of misses."""
+        """Touch a page run; returns the number of misses.
+
+        Batched for the two cases that dominate column scans — a fully
+        cold run, and a run that fits without evicting — with the exact
+        per-page loop kept for the remainder: when hits re-order pages
+        *between* evictions, the victims depend on the interleaving, so
+        batching there would change the cache state.
+        """
+        if n_pages <= 0:
+            return 0
+        run = range(first_page, first_page + n_pages)
+        present = self._pages.keys() & run  # batch membership test
+
+        if not present:
+            # Cold run: no reordering, so the final cache is simply the
+            # last ``capacity`` pages of (old order, run).
+            self.misses += n_pages
+            keep_old = max(0, self.capacity_pages - n_pages)
+            while len(self._pages) > keep_old:
+                self._pages.popitem(last=False)
+            for pid in run[max(0, n_pages - self.capacity_pages):]:
+                self._pages[pid] = None
+            return n_pages
+
+        n_miss = n_pages - len(present)
+        if len(self._pages) + n_miss <= self.capacity_pages:
+            # No eviction possible: hits move to the MRU end in run
+            # order and misses append in run order, i.e. the whole run
+            # lands at the end, ordered.
+            for pid in present:
+                del self._pages[pid]
+            for pid in run:
+                self._pages[pid] = None
+            self.hits += len(present)
+            self.misses += n_miss
+            return n_miss
+
         misses_before = self.misses
-        for pid in range(first_page, first_page + n_pages):
+        for pid in run:
             self.access(pid)
         return self.misses - misses_before
 

@@ -11,6 +11,7 @@ in what order, and what that costs in time.
 """
 
 from repro.flash.nand import FlashConfig, FlashTiming
+from repro.flash.channels import ChannelMeter
 from repro.flash.controller import (
     CommandKind,
     FlashCommand,
@@ -22,6 +23,7 @@ from repro.flash.switch import ControllerSwitch, FlashClient
 __all__ = [
     "FlashConfig",
     "FlashTiming",
+    "ChannelMeter",
     "CommandKind",
     "FlashCommand",
     "FlashController",

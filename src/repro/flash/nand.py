@@ -22,6 +22,7 @@ class FlashConfig:
     read_bandwidth: float = 2.4 * GB  # bytes / second, sequential
     write_bandwidth: float = 800 * MB
     queue_depth: int = 128
+    n_channels: int = 8  # parallel NAND buses striped page-round-robin
     read_latency_us: float = 100.0  # NAND array access latency
     write_latency_us: float = 500.0
 

@@ -50,6 +50,15 @@ class QueryTrace:
 
     # Flash traffic: (table, column) -> bytes read from the device.
     flash_read_bytes: dict[tuple[str, str], int] = field(default_factory=dict)
+    # Page-granular skip accounting (filled by the morsel / page-skip
+    # paths): (table, column) -> pages actually read vs. pages the
+    # column spans.  The difference is what the Table Reader saved.
+    flash_pages_read: dict[tuple[str, str], int] = field(default_factory=dict)
+    flash_pages_skipped: dict[tuple[str, str], int] = field(
+        default_factory=dict
+    )
+    # Pages served per flash channel (page id % n_channels striping).
+    flash_channel_pages: list[int] = field(default_factory=list)
     # Bytes the engine wrote to disk for swap (baseline spills).
     swap_bytes: int = 0
 
@@ -75,6 +84,45 @@ class QueryTrace:
         self.flash_read_bytes[key] = (
             self.flash_read_bytes.get(key, 0) + n_bytes
         )
+
+    def record_flash_pages(
+        self,
+        table: str,
+        column: str,
+        pages_read: int,
+        pages_total: int,
+        page_bytes: int,
+    ) -> None:
+        """Charge a page-skipped column read.
+
+        Only the ``pages_read`` pages the Table Reader actually fetched
+        count toward flash bytes; the remaining ``pages_total -
+        pages_read`` are recorded as skipped so ablations can report
+        the savings.
+        """
+        key = (table, column)
+        self.flash_pages_read[key] = (
+            self.flash_pages_read.get(key, 0) + pages_read
+        )
+        self.flash_pages_skipped[key] = (
+            self.flash_pages_skipped.get(key, 0)
+            + (pages_total - pages_read)
+        )
+        self.record_flash(table, column, pages_read * page_bytes)
+
+    def record_channel_pages(self, pages_per_channel) -> None:
+        """Accumulate a ChannelMeter's per-channel page counts."""
+        counts = [int(c) for c in pages_per_channel]
+        if not self.flash_channel_pages:
+            self.flash_channel_pages = counts
+            return
+        self.flash_channel_pages = [
+            a + b for a, b in zip(self.flash_channel_pages, counts)
+        ]
+
+    @property
+    def total_pages_skipped(self) -> int:
+        return sum(self.flash_pages_skipped.values())
 
     def record_op(self, op: OpTrace) -> None:
         self.ops.append(op)

@@ -84,6 +84,39 @@ class Column:
     def heap_bytes(self) -> int:
         return self.heap.heap_bytes if self.heap is not None else 0
 
+    @property
+    def is_mapped(self) -> bool:
+        """True when the values live in an mmap'd column file.
+
+        The constructor's ``np.asarray`` returns a plain-ndarray *view*
+        of a memmap (same pages, lazily faulted), so the mapping is
+        found by walking the ``base`` chain, not by subclass.
+        """
+        arr = self.values
+        while arr is not None:
+            if isinstance(arr, np.memmap):
+                return True
+            arr = getattr(arr, "base", None)
+        return False
+
+    def slice_rows(self, lo: int, hi: int) -> np.ndarray:
+        """Raw values for rows ``[lo, hi)`` — a view, never a copy.
+
+        On an mmap-backed column only the pages overlapping the slice
+        are faulted in, so a morsel-sized read costs morsel-sized I/O.
+        """
+        return self.values[lo:hi]
+
+    def gather_raw(self, row_ids: np.ndarray) -> np.ndarray:
+        """Raw values at the given rows (fancy-indexed copy).
+
+        On an mmap-backed column fancy indexing faults in only the
+        pages holding the requested rows — fully-masked pages between
+        them are never touched.  This is the physical half of the Table
+        Reader's page skip; the accounting half lives in perf/trace.py.
+        """
+        return self.values[row_ids]
+
     def take(self, row_ids: np.ndarray) -> "Column":
         """Positional gather: a new column of the given rows, in order."""
         return Column(self.name, self.ctype, self.values[row_ids], self.heap)

@@ -34,6 +34,25 @@ from repro.storage.types import (
 
 MANIFEST_NAME = "catalog.json"
 
+
+def _load_column_values(
+    path: Path, dtype: np.dtype, mmap: bool
+) -> np.ndarray:
+    """Load one column file without a redundant copy.
+
+    The on-disk size is validated against the dtype before mapping so a
+    truncated file raises the same "manifest says" error the eager path
+    produced (np.memmap of a short file would otherwise fail with an
+    unrelated message — or worse, silently round down).
+    """
+    itemsize = np.dtype(dtype).itemsize
+    nvalues = path.stat().st_size // itemsize
+    if nvalues == 0:
+        return np.empty(0, dtype=dtype)
+    if mmap:
+        return np.memmap(path, dtype=dtype, mode="r", shape=(nvalues,))
+    return np.fromfile(path, dtype=dtype)
+
 _TYPES_BY_NAME: dict[str, ColumnType] = {
     "int32": INT32,
     "int64": INT64,
@@ -97,8 +116,15 @@ def save_catalog(catalog: Catalog, directory: str | Path) -> Path:
     return manifest_path
 
 
-def load_catalog(directory: str | Path) -> Catalog:
+def load_catalog(directory: str | Path, *, mmap: bool = True) -> Catalog:
     """Load a catalog previously written by :func:`save_catalog`.
+
+    With ``mmap=True`` (the default) column files are mapped read-only
+    with :func:`np.memmap`, so loading is O(#columns) and a column page
+    is only faulted in when something actually reads it — this is what
+    lets the morsel executor's page-skip path avoid ever touching
+    fully-masked pages.  ``mmap=False`` reads each file eagerly with
+    one :func:`np.fromfile` copy (no intermediate ``bytes`` object).
 
     Foreign keys are restored from the manifest; their join-index
     columns were persisted like any other column, so they are *not*
@@ -118,9 +144,8 @@ def load_catalog(directory: str | Path) -> Catalog:
         columns = []
         for meta in columns_meta:
             ctype = _TYPES_BY_NAME[meta["type"]]
-            raw = np.frombuffer(
-                (table_dir / f"{meta['name']}.bin").read_bytes(),
-                dtype=ctype.dtype,
+            raw = _load_column_values(
+                table_dir / f"{meta['name']}.bin", ctype.dtype, mmap
             )
             if len(raw) != meta["nrows"]:
                 raise ValueError(
@@ -134,7 +159,7 @@ def load_catalog(directory: str | Path) -> Catalog:
                 if payload:
                     for value in payload.decode().split("\x00"):
                         heap.encode(value)
-            columns.append(Column(meta["name"], ctype, raw.copy(), heap))
+            columns.append(Column(meta["name"], ctype, raw, heap))
         primary_key = manifest["primary_keys"].get(table_name)
         catalog.add_table(Table(table_name, columns), primary_key)
 

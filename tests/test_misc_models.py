@@ -53,6 +53,106 @@ class TestLruPageCache:
         assert len(cache) == 0
 
 
+class _ReferenceLru:
+    """The definitional per-page LRU, for differential testing of the
+    batched ``access_range`` fast paths."""
+
+    def __init__(self, capacity_pages):
+        from collections import OrderedDict
+
+        self.capacity_pages = capacity_pages
+        self._pages = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page_id):
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page_id] = None
+        if len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)
+        return False
+
+    def access_range(self, first_page, n_pages):
+        before = self.misses
+        for pid in range(first_page, first_page + n_pages):
+            self.access(pid)
+        return self.misses - before
+
+
+class TestLruAccessRangeEquivalence:
+    """The vectorised ``access_range`` must match per-page LRU exactly:
+    same miss counts, same hit/miss totals, same cache *contents and
+    order* (order determines future victims)."""
+
+    PAGE = 8 * 1024
+
+    def _pair(self, capacity_pages):
+        return (
+            LruPageCache(capacity_pages * self.PAGE, self.PAGE),
+            _ReferenceLru(capacity_pages),
+        )
+
+    def _assert_same(self, cache, ref):
+        assert list(cache._pages) == list(ref._pages)
+        assert (cache.hits, cache.misses) == (ref.hits, ref.misses)
+
+    def test_cold_run_larger_than_cache(self):
+        cache, ref = self._pair(4)
+        assert cache.access_range(0, 10) == ref.access_range(0, 10)
+        self._assert_same(cache, ref)
+
+    def test_cold_run_with_partial_eviction(self):
+        cache, ref = self._pair(4)
+        for c in (cache, ref):
+            c.access(100)
+            c.access(101)
+        assert cache.access_range(0, 3) == ref.access_range(0, 3)
+        self._assert_same(cache, ref)
+
+    def test_no_eviction_mixed_hits(self):
+        cache, ref = self._pair(10)
+        for c in (cache, ref):
+            c.access_range(0, 4)
+        assert cache.access_range(2, 5) == ref.access_range(2, 5)
+        self._assert_same(cache, ref)
+
+    def test_interleaved_hits_and_evictions(self):
+        """The case batching *cannot* shortcut: a hit re-orders the
+        queue between two evictions, changing the second victim."""
+        cache, ref = self._pair(2)
+        for c in (cache, ref):
+            c.access(10)
+            c.access(5)
+        assert cache.access_range(1, 5) == ref.access_range(1, 5)
+        self._assert_same(cache, ref)
+
+    def test_empty_range(self):
+        cache, ref = self._pair(4)
+        assert cache.access_range(7, 0) == 0
+        self._assert_same(cache, ref)
+
+    def test_randomized_workloads(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(300):
+            capacity = int(rng.integers(1, 12))
+            cache, ref = self._pair(capacity)
+            for _ in range(int(rng.integers(1, 25))):
+                if rng.random() < 0.5:
+                    pid = int(rng.integers(0, 20))
+                    assert cache.access(pid) == ref.access(pid)
+                else:
+                    first = int(rng.integers(0, 20))
+                    n = int(rng.integers(0, 15))
+                    assert cache.access_range(first, n) == ref.access_range(
+                        first, n
+                    )
+                self._assert_same(cache, ref)
+
+
 class TestResourceInventory:
     def test_sorter_dwarfs_the_rest(self):
         """The Tables III/IV headline: the sorter is the big block."""
