@@ -12,8 +12,6 @@ Each ablation turns one mechanism off and measures what it was buying:
   before streaming the remaining columns vs streaming everything.
 """
 
-import numpy as np
-import pytest
 
 from conftest import TARGET_SF, print_table
 from repro.core import AquomanSimulator, DeviceConfig
@@ -77,7 +75,7 @@ def test_ablation_join_index(benchmark, db):
         from repro.tpch.queries import q12 as q12mod
 
         plan = q12mod.build()
-        from repro.sqlir.plan import Filter, Join, Scan
+        from repro.sqlir.plan import Filter, Join
 
         join = next(n for n in plan.walk() if isinstance(n, Join))
         # The filter must actually drop a row, else the runtime notices

@@ -8,7 +8,6 @@ at the 2.4 GB/s flash line rate, and Q6 is faster per row than Q1
 (fewer bytes per row on the wire).
 """
 
-import pytest
 
 from conftest import TARGET_SF, print_table
 from repro.perf.model import AQUOMAN_40GB, HOST_L, SystemModel

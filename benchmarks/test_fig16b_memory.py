@@ -11,7 +11,6 @@ L baseline and L-AQUOMAN.  Shape requirements:
 - baseline L peaks live in the tens-of-GB to ~DRAM range.
 """
 
-import pytest
 
 from conftest import print_table
 from repro.util.units import GB

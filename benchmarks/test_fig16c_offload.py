@@ -9,7 +9,6 @@ cycles AQUOMAN frees relative to the L baseline.  Shape requirements:
   we accept 60-90% given the calibration substitution).
 """
 
-import pytest
 
 from conftest import print_table
 

@@ -11,7 +11,6 @@ versus the aggregate byte-rate model behind Fig. 16.  They must agree
 on run time within 30% and exactly on device memory.
 """
 
-import pytest
 
 from conftest import TARGET_SF, print_table
 from repro.perf.model import AQUOMAN_40GB, HOST_L, SystemModel

@@ -13,7 +13,6 @@ Regenerates the paper's taxonomy from compiler analysis + simulation:
   join-heavy queries (paper: 4, 5, 8, 21; ours: 5, 21).
 """
 
-import pytest
 
 from conftest import print_table
 from repro.core.compiler import SuspendReason

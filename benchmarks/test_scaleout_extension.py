@@ -13,10 +13,9 @@ quantitative predictions worth recording:
   is already disk-limited.
 """
 
-import pytest
 
 from conftest import TARGET_SF, print_table
-from repro.perf.model import AQUOMAN_40GB, HOST_L, HOST_S, SystemModel
+from repro.perf.model import AQUOMAN_40GB, HOST_S, SystemModel
 from repro.perf.scaleout import MultiDeviceModel, concurrent_makespan
 from repro.perf.scaling import scale_trace
 from repro.perf.tpch_eval import GROUP_DOMAINS

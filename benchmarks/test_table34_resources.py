@@ -8,7 +8,6 @@ and the streaming sorter is bigger than the rest of AQUOMAN combined
 (the reason prototype needed two FPGAs, Sec. VII).
 """
 
-import pytest
 
 from conftest import print_table
 from repro.core.resources import component_inventory, sorter_inventory

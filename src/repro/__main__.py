@@ -6,7 +6,9 @@ Commands:
   baseline engine and/or the AQUOMAN simulator;
 - ``evaluate`` — the full Fig. 16 evaluation (all 22 queries, five
   system configurations, SF-1000 scaling);
-- ``explain``  — per-node offload decisions for one query.
+- ``explain``  — per-node offload decisions for one query;
+- ``analyze``  — static analysis: typecheck, suspend prediction,
+  PE-program verification and morsel-safety proofs, without executing.
 """
 
 from __future__ import annotations
@@ -114,6 +116,25 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze_plan
+
+    db = tpch.generate(args.sf)
+    plan = _plan_of(args, db)
+    config = DeviceConfig(
+        dram_bytes=int(args.dram_gb * GB),
+        scale_ratio=args.target_sf / args.sf,
+    )
+    report = analyze_plan(plan, db, device=config)
+    if args.json:
+        print(report.to_json_str())
+    else:
+        print(report.format())
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -147,6 +168,22 @@ def main(argv: list[str] | None = None) -> int:
     p_explain.add_argument("--sql")
     _add_common(p_explain)
     p_explain.set_defaults(func=cmd_explain)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static analysis without executing"
+    )
+    p_analyze.add_argument("number", type=int, nargs="?",
+                           help="TPC-H query number (1-22)")
+    p_analyze.add_argument("--sql", help="a SQL string instead")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable report")
+    p_analyze.add_argument("--dram-gb", type=float, default=40.0)
+    p_analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when the analyzer finds errors",
+    )
+    _add_common(p_analyze)
+    p_analyze.set_defaults(func=cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.func(args)

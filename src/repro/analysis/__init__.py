@@ -1,0 +1,211 @@
+"""Static plan analysis: verify before execute.
+
+Four passes over a :class:`repro.sqlir.Plan` + catalog, none of which
+executes a single row:
+
+``types``
+    Schema/dtype inference over every operator and expression
+    (:mod:`repro.analysis.typecheck`, ``AQ1xx``).
+``suspend``
+    Predict each real device suspension as NEVER / ALWAYS /
+    DEPENDS[lo, hi] from offload decisions, catalog statistics and the
+    DRAM/bucket budgets (:mod:`repro.analysis.suspend`, ``AQ2xx``).
+    Needs a :class:`repro.core.device.DeviceConfig`.
+``pe``
+    Abstractly execute the Row Transformer PE programs each Project
+    would lower to (:mod:`repro.analysis.peverify`, ``AQ3xx``).
+``morsel``
+    Prove which aggregate fragments merge bit-identically under morsel
+    parallelism (:mod:`repro.analysis.morselsafety`, ``AQ4xx``) — the
+    engine's single source of truth for its merge decision.
+
+Layering: this package imports ``sqlir``, ``storage`` and ``core``
+compile-time modules only — never ``repro.engine`` or the simulator.
+The engine and simulator import *us* (``engine.morsel`` for merge
+verdicts, ``core.simulator`` for :func:`subtree_reduces`), so any
+import in the other direction would cycle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    PlanAnalysisWarning,
+    PlanRejected,
+    Severity,
+    diag,
+)
+from repro.analysis.morselsafety import (
+    MergeVerdict,
+    aggregate_merge_verdict,
+    fragment_verdicts,
+    streamable_chain,
+)
+from repro.analysis.peverify import (
+    RawInstr,
+    verify_instructions,
+    verify_program,
+    verify_transform_graph,
+)
+from repro.analysis.suspend import (
+    SuspendPrediction,
+    SuspendPredictor,
+    Verdict,
+    subtree_reduces,
+)
+from repro.analysis.typecheck import (
+    ColumnMeta,
+    InferenceError,
+    TypeChecker,
+    scan_schema,
+)
+from repro.sqlir.expr import ColumnRef, Kind
+from repro.sqlir.plan import (
+    Plan,
+    Project,
+    assign_node_ids,
+    node_exprs,
+    subquery_plans,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "ColumnMeta",
+    "Diagnostic",
+    "InferenceError",
+    "MergeVerdict",
+    "PlanAnalysisWarning",
+    "PlanRejected",
+    "RawInstr",
+    "Severity",
+    "SuspendPrediction",
+    "SuspendPredictor",
+    "TypeChecker",
+    "Verdict",
+    "aggregate_merge_verdict",
+    "analyze_plan",
+    "diag",
+    "fragment_verdicts",
+    "scan_schema",
+    "streamable_chain",
+    "subtree_reduces",
+    "verify_instructions",
+    "verify_program",
+    "verify_transform_graph",
+]
+
+ENGINE_PASSES = ("types", "morsel")
+ALL_PASSES = ("types", "suspend", "pe", "morsel")
+
+
+def analyze_plan(
+    plan: Plan,
+    catalog,
+    device=None,
+    passes: tuple[str, ...] | None = None,
+) -> AnalysisReport:
+    """Run the selected static passes and aggregate one report.
+
+    ``device`` (a :class:`repro.core.device.DeviceConfig`) enables the
+    device-facing passes; without it the default is the cheap,
+    host-relevant pair ``("types", "morsel")`` the engine runs inline.
+    """
+    if passes is None:
+        passes = ALL_PASSES if device is not None else ENGINE_PASSES
+    unknown = [p for p in passes if p not in ALL_PASSES]
+    if unknown:
+        raise ValueError(
+            f"unknown analysis pass(es) {unknown}; choose from {ALL_PASSES}"
+        )
+
+    report = AnalysisReport(passes=tuple(passes))
+    report.n_nodes = assign_node_ids(plan)
+
+    if "types" in passes:
+        checker = TypeChecker(catalog)
+        checker.check(plan)
+        report.diagnostics.extend(checker.diagnostics)
+
+    if "suspend" in passes:
+        if device is None:
+            raise ValueError(
+                "the 'suspend' pass needs a DeviceConfig (device=...)"
+            )
+        predictor = SuspendPredictor(catalog, device)
+        predictions, diagnostics = predictor.predict(plan)
+        report.suspend.update(predictions)
+        report.diagnostics.extend(diagnostics)
+
+    if "pe" in passes:
+        report.diagnostics.extend(_pe_pass(plan, catalog, device))
+
+    if "morsel" in passes:
+        report.fragments = fragment_verdicts(plan, catalog)
+
+    return report
+
+
+def _pe_pass(plan: Plan, catalog, device) -> list[Diagnostic]:
+    """Lower every Project's computed outputs the way the Row
+    Transformer would and verify the resulting PE programs."""
+    from repro.core.dataflow import (
+        UnsupportedTransform,
+        build_transform_graph,
+    )
+
+    imem = device.pe_imem_size if device is not None else None
+    checker = TypeChecker(catalog, collect=False)
+    out: list[Diagnostic] = []
+    for node in _walk_with_subqueries(plan):
+        if not isinstance(node, Project):
+            continue
+        pe_outputs = [
+            (name, expr)
+            for name, expr in node.outputs
+            if not isinstance(expr, ColumnRef)
+        ]
+        if not pe_outputs:
+            continue
+        schema = checker.schema_of(node.child)
+        if schema is None:
+            continue  # the types pass already reported the cause
+        scales = {
+            name: (meta.scale if meta.kind is Kind.INT else 0)
+            for name, meta in schema.items()
+        }
+        try:
+            graph = build_transform_graph(
+                pe_outputs, input_scales=scales, imem_size=imem
+            )
+        except UnsupportedTransform as reason:
+            out.append(
+                diag(
+                    "AQ308",
+                    Severity.INFO,
+                    f"no PE lowering ({reason}); the device falls back "
+                    "to host-style evaluation",
+                    node,
+                )
+            )
+            continue
+        except ValueError as err:
+            out.append(diag("AQ303", Severity.ERROR, str(err), node))
+            continue
+        out.extend(verify_transform_graph(graph, node))
+    return out
+
+
+def _walk_with_subqueries(plan: Plan):
+    """Preorder walk that also descends into scalar-subquery plans."""
+    seen: set[int] = set()
+    stack = [plan]
+    while stack:
+        root = stack.pop()
+        for node in root.walk():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            for expr in node_exprs(node):
+                stack.extend(subquery_plans(expr))

@@ -1,0 +1,197 @@
+"""Morsel merge-safety proofs (pass 4).
+
+Decides — statically — which aggregate fragments merge bit-identically
+under :mod:`repro.engine.morsel` parallelism and which need the
+monolithic fallback.  The rules are the streaming algebra's:
+
+- COUNT partials add, MIN/MAX partials re-reduce, and SUM partials add
+  exactly *only* on the int64 domain;
+- float addition is not associative, so AVG and float-valued SUMs would
+  change rounding across morsel boundaries (``AQ402``);
+- COUNT DISTINCT partials cannot be merged at all (``AQ401``);
+- scalar subqueries inside the fragment would re-execute per morsel
+  (``AQ403``).
+
+SUM value kinds come from the lenient type inference in
+:mod:`repro.analysis.typecheck`, which mirrors ``evaluate()`` exactly —
+this replaces the zero-row probe the morsel executor used to run, and
+is the single source of truth for the engine's merge decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.typecheck import InferenceError, Kind, TypeChecker
+from repro.sqlir.expr import AggFunc, Expr, ScalarSubquery
+from repro.sqlir.plan import (
+    Aggregate,
+    Filter,
+    Plan,
+    Project,
+    Scan,
+    node_exprs,
+    subquery_plans,
+)
+
+__all__ = [
+    "MERGEABLE_FUNCS",
+    "MergeVerdict",
+    "aggregate_merge_verdict",
+    "streamable_chain",
+    "fragment_verdicts",
+]
+
+# The only aggregate functions whose partials re-reduce exactly.
+MERGEABLE_FUNCS = (AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN, AggFunc.MAX)
+
+
+@dataclass(frozen=True)
+class MergeVerdict:
+    """Whether one aggregate fragment may merge per-morsel partials."""
+
+    mergeable: bool
+    code: str = ""       # AQ401/AQ402/AQ403/AQ404 when not mergeable
+    reason: str = ""
+    node_id: int | None = None
+    node: str = ""
+
+    def describe(self) -> str:
+        locus = f"node {self.node_id} {self.node}: " if self.node else ""
+        if self.mergeable:
+            return f"{locus}mergeable (int-exact partials)"
+        return f"{locus}monolithic [{self.code}]: {self.reason}"
+
+    def to_json(self) -> dict:
+        return {
+            "mergeable": self.mergeable,
+            "code": self.code,
+            "reason": self.reason,
+            "node_id": self.node_id,
+            "node": self.node,
+        }
+
+
+def _has_subquery(expr: Expr) -> bool:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ScalarSubquery):
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def aggregate_merge_verdict(
+    plan: Aggregate, scan: Scan, steps, catalog
+) -> MergeVerdict:
+    """Merge-safety verdict for an Aggregate over a scan-rooted chain.
+
+    ``steps`` are the Filter/Project nodes between the scan and the
+    aggregate, bottom-up (the same shape
+    :func:`repro.engine.morsel.extract_fragment` produces).
+    """
+
+    def refuse(code: str, reason: str) -> MergeVerdict:
+        return MergeVerdict(
+            mergeable=False,
+            code=code,
+            reason=reason,
+            node_id=plan.node_id,
+            node=repr(plan),
+        )
+
+    for spec in plan.aggregates:
+        if spec.func not in MERGEABLE_FUNCS:
+            return refuse(
+                "AQ401",
+                f"{spec.name}={spec.func.value}() partials do not "
+                "re-reduce",
+            )
+        if spec.expr is not None and _has_subquery(spec.expr):
+            return refuse(
+                "AQ403",
+                f"{spec.name} embeds a scalar subquery; per-morsel "
+                "re-execution is not streamable",
+            )
+    sums = [s for s in plan.aggregates if s.func is AggFunc.SUM]
+    if not sums:
+        return MergeVerdict(
+            mergeable=True, node_id=plan.node_id, node=repr(plan)
+        )
+
+    checker = TypeChecker(catalog, collect=False)
+    try:
+        schema = checker.schema_of(scan)
+        if schema is None:
+            raise InferenceError("AQ110", f"unknown table {scan.table!r}")
+        for step in steps:
+            if isinstance(step, Filter):
+                checker.infer(step.predicate, schema, step)
+            else:  # Project
+                schema = {
+                    name: checker.infer(expr, schema, step)
+                    for name, expr in step.outputs
+                }
+        for spec in sums:
+            meta = checker.infer(spec.expr, schema, plan)
+            if meta.kind is Kind.FLOAT:
+                return refuse(
+                    "AQ402",
+                    f"SUM({spec.name}) is float-valued; morsel merge "
+                    "would change rounding order",
+                )
+    except InferenceError as err:
+        return refuse(
+            "AQ404",
+            f"chain fails static inference ({err.code}: {err.message})",
+        )
+    return MergeVerdict(
+        mergeable=True, node_id=plan.node_id, node=repr(plan)
+    )
+
+
+def streamable_chain(node: Plan) -> tuple[Scan, tuple[Plan, ...]] | None:
+    """The (scan, steps) chain under ``node`` if it is pure streaming:
+    Filter/Project steps without subqueries down to a base-table scan."""
+    steps: list[Plan] = []
+    while isinstance(node, (Filter, Project)):
+        exprs = (
+            [node.predicate]
+            if isinstance(node, Filter)
+            else [e for _, e in node.outputs]
+        )
+        if any(_has_subquery(e) for e in exprs):
+            return None
+        steps.append(node)
+        node = node.child
+    if not isinstance(node, Scan):
+        return None
+    steps.reverse()
+    return node, tuple(steps)
+
+
+def fragment_verdicts(plan: Plan, catalog) -> list[MergeVerdict]:
+    """Merge verdicts for every aggregate fragment anywhere in the plan
+    (including inside scalar subqueries)."""
+    verdicts: list[MergeVerdict] = []
+    seen: set[int] = set()
+
+    def visit(root: Plan) -> None:
+        for node in root.walk():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, Aggregate):
+                chain = streamable_chain(node.child)
+                if chain is not None:
+                    scan, steps = chain
+                    verdicts.append(
+                        aggregate_merge_verdict(node, scan, steps, catalog)
+                    )
+            for expr in node_exprs(node):
+                for sub in subquery_plans(expr):
+                    visit(sub)
+
+    visit(plan)
+    return verdicts

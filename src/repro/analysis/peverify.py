@@ -1,0 +1,224 @@
+"""PE-program verifier (pass 3).
+
+Checks straight-line PE programs against the paper's Row Transformer
+contract (Table II: 10-op ISA, 8 registers with ``rf[0]`` as the stream
+port, 8-entry instruction memory, operand FIFO) by abstract one-pass
+execution — no PE is instantiated and no data flows.
+
+Verified properties:
+
+- ``AQ301`` register indices within ``0..N_REGISTERS-1``
+- ``AQ302`` opcode legality / immediate only on ALU ops
+- ``AQ303`` program length within the instruction memory
+- ``AQ304`` division by zero reachability (an ``imm == 0`` divisor is
+  statically certain; a FIFO divisor is data-dependent — the ALU
+  silently yields 0 either way, so these never abort at runtime)
+- ``AQ305`` operand-FIFO underflow (runtime ``RuntimeError``)
+- ``AQ306`` read of an uninitialised register (runtime ``RuntimeError``)
+- ``AQ307`` stream imbalance: inputs not fully consumed / over-consumed,
+  or operands left in the FIFO at program end
+
+The verifier accepts *unvalidated* instruction records (anything with
+``opcode``/``rd``/``rs``/``imm`` attributes) so that programs
+:class:`repro.core.pe.Instruction` would refuse to construct can still
+be checked — :class:`RawInstr` is the test fixture for that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic, Severity, diag
+from repro.core.pe import _ALU_OPS, DEFAULT_IMEM_SIZE, N_REGISTERS, Opcode
+
+__all__ = [
+    "RawInstr",
+    "verify_instructions",
+    "verify_program",
+    "verify_transform_graph",
+]
+
+
+@dataclass
+class RawInstr:
+    """An unvalidated PE instruction for verifier input."""
+
+    opcode: object
+    rd: int = 0
+    rs: int = 0
+    imm: object = None
+
+
+def verify_instructions(
+    instructions,
+    imem_size: int | None = None,
+    n_inputs: int | None = None,
+    node=None,
+) -> list[Diagnostic]:
+    """Abstractly execute ``instructions`` and report every violation.
+
+    ``n_inputs`` is the number of stream operands one program run pops
+    from ``rf[0]``; pass ``None`` when the consumption count is not
+    known statically.
+    """
+    out: list[Diagnostic] = []
+    size = DEFAULT_IMEM_SIZE if imem_size is None else imem_size
+    if len(instructions) > size:
+        out.append(
+            diag(
+                "AQ303",
+                Severity.ERROR,
+                f"program of {len(instructions)} instructions exceeds "
+                f"the PE's {size}-entry instruction memory",
+                node,
+            )
+        )
+
+    regs_init = [True] + [False] * (N_REGISTERS - 1)  # rf[0] = stream port
+    fifo_depth = 0
+    pops = 0
+
+    for pc, instr in enumerate(instructions):
+        opcode = instr.opcode
+        if not isinstance(opcode, Opcode):
+            out.append(
+                diag(
+                    "AQ302",
+                    Severity.ERROR,
+                    f"pc {pc}: illegal opcode {opcode!r} (not in the "
+                    "10-op ISA)",
+                    node,
+                )
+            )
+            continue
+        bad_reg = False
+        for field_name, reg in (("rd", instr.rd), ("rs", instr.rs)):
+            if not 0 <= reg < N_REGISTERS:
+                out.append(
+                    diag(
+                        "AQ301",
+                        Severity.ERROR,
+                        f"pc {pc}: {field_name}={reg} outside the "
+                        f"{N_REGISTERS}-register file",
+                        node,
+                    )
+                )
+                bad_reg = True
+        if instr.imm is not None and opcode not in _ALU_OPS:
+            out.append(
+                diag(
+                    "AQ302",
+                    Severity.ERROR,
+                    f"pc {pc}: immediate on non-ALU opcode "
+                    f"{opcode.name}",
+                    node,
+                )
+            )
+        if bad_reg:
+            continue
+
+        # Every opcode reads rf[rs] first.
+        if instr.rs == 0:
+            pops += 1
+        elif not regs_init[instr.rs]:
+            out.append(
+                diag(
+                    "AQ306",
+                    Severity.ERROR,
+                    f"pc {pc}: reads uninitialised register "
+                    f"rf[{instr.rs}]",
+                    node,
+                )
+            )
+            regs_init[instr.rs] = True  # report once per register
+
+        if opcode in _ALU_OPS:
+            if instr.imm is not None:
+                if opcode is Opcode.DIV and instr.imm == 0:
+                    out.append(
+                        diag(
+                            "AQ304",
+                            Severity.WARNING,
+                            f"pc {pc}: DIV by constant 0 — result is "
+                            "always 0",
+                            node,
+                        )
+                    )
+            else:
+                if fifo_depth == 0:
+                    out.append(
+                        diag(
+                            "AQ305",
+                            Severity.ERROR,
+                            f"pc {pc}: {opcode.name} pops an empty "
+                            "operand FIFO",
+                            node,
+                        )
+                    )
+                else:
+                    fifo_depth -= 1
+                if opcode is Opcode.DIV:
+                    out.append(
+                        diag(
+                            "AQ304",
+                            Severity.INFO,
+                            f"pc {pc}: DIV by a streamed operand; a "
+                            "zero divisor yields 0",
+                            node,
+                        )
+                    )
+            if instr.rd != 0:
+                regs_init[instr.rd] = True
+        elif opcode is Opcode.PASS:
+            if instr.rd != 0:
+                regs_init[instr.rd] = True
+        elif opcode is Opcode.COPY:
+            fifo_depth += 1
+            if instr.rd != 0:
+                regs_init[instr.rd] = True
+        elif opcode is Opcode.STORE:
+            fifo_depth += 1
+
+    if n_inputs is not None and pops != n_inputs:
+        out.append(
+            diag(
+                "AQ307",
+                Severity.ERROR,
+                f"program pops {pops} stream inputs but the layer "
+                f"delivers {n_inputs}",
+                node,
+            )
+        )
+    if fifo_depth > 0:
+        out.append(
+            diag(
+                "AQ307",
+                Severity.WARNING,
+                f"{fifo_depth} operand(s) left in the FIFO at program "
+                "end",
+                node,
+            )
+        )
+    return out
+
+
+def verify_program(program, node=None) -> list[Diagnostic]:
+    """Verify a :class:`repro.core.pe.PEProgram`."""
+    return verify_instructions(
+        program.instructions, program.imem_size, node=node
+    )
+
+
+def verify_transform_graph(graph, node=None) -> list[Diagnostic]:
+    """Verify every layer program of a compiled transform graph."""
+    out: list[Diagnostic] = []
+    for layer in graph.layers:
+        out.extend(
+            verify_instructions(
+                layer.program.instructions,
+                layer.program.imem_size,
+                n_inputs=len(layer.consume_order),
+                node=node,
+            )
+        )
+    return out

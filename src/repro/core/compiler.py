@@ -40,7 +40,6 @@ from repro.sqlir.expr import (
     CaseWhen,
     ColumnRef,
     Compare,
-    CompareOp,
     Expr,
     ExtractYear,
     InList,
@@ -128,6 +127,14 @@ class CompiledQuery:
 
         walk(self.plan, False)
         return roots
+
+    def flatten(self) -> list["CompiledQuery"]:
+        """This compilation unit plus every nested scalar-subquery unit,
+        depth-first — the flat view cross-validation passes walk."""
+        units = [self]
+        for sub in self.subqueries:
+            units.extend(sub.flatten())
+        return units
 
     def suspend_reasons(self) -> set[SuspendReason]:
         reasons = {

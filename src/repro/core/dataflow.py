@@ -22,7 +22,7 @@ group keys of Q7/Q8/Q9 run on the integer-only ISA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -367,11 +367,11 @@ class TransformGraph:
 
     @property
     def total_instructions(self) -> int:
-        return sum(len(l.program) for l in self.layers)
+        return sum(len(layer.program) for layer in self.layers)
 
     @property
     def max_layer_instructions(self) -> int:
-        return max((len(l.program) for l in self.layers), default=0)
+        return max((len(layer.program) for layer in self.layers), default=0)
 
     def cycles_per_row_vector(self, n_pes: int) -> int:
         """Initiation interval of the systolic pipeline.
@@ -388,7 +388,7 @@ class TransformGraph:
             return self.max_layer_instructions
         per_pe = -(-self.n_layers // n_pes)
         lengths = sorted(
-            (len(l.program) for l in self.layers), reverse=True
+            (len(layer.program) for layer in self.layers), reverse=True
         )
         return sum(lengths[:per_pe])
 

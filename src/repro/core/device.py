@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dataflow import (
-    TransformGraph,
     UnsupportedTransform,
     build_transform_graph,
 )

@@ -15,7 +15,7 @@ single-pattern specials of the matcher).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -31,7 +31,6 @@ from repro.sqlir.expr import (
     Compare,
     CompareOp,
     Expr,
-    InList,
     Kind,
     Literal,
 )

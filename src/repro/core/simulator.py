@@ -18,10 +18,11 @@ recording a combined :class:`~repro.perf.trace.QueryTrace`:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.analysis.suspend import subtree_reduces as _subtree_reduces
 from repro.core.compiler import (
     CompiledQuery,
     OffloadDecision,
@@ -511,16 +512,6 @@ class DeviceExecutor:
         )
 
 
-def _subtree_reduces(plan: Plan) -> bool:
-    """Worth offloading only if the subtree reduces or transforms data
-    beyond column renames (a bare streamed scan saves the host
-    nothing — the bytes still transit host memory)."""
-    return any(
-        isinstance(node, (Filter, Join, Aggregate, Distinct))
-        for node in plan.walk()
-    )
-
-
 class HybridEngine(Engine):
     """The host engine with device offload at compiled boundaries."""
 
@@ -619,14 +610,9 @@ class AquomanSimulator:
 
         decisions: dict[int, OffloadDecision] = {}
         offload_roots: set[int] = set()
-
-        def collect(cq: CompiledQuery) -> None:
-            decisions.update(cq.decisions)
-            offload_roots.update(id(r) for r in cq.offload_roots())
-            for sub in cq.subqueries:
-                collect(sub)
-
-        collect(compiled)
+        for unit in compiled.flatten():
+            decisions.update(unit.decisions)
+            offload_roots.update(id(r) for r in unit.offload_roots())
 
         device = AquomanDevice(self.catalog, self.config)
         trace = QueryTrace(

@@ -17,7 +17,7 @@ The model reproduces the two behaviours the evaluation leans on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,7 +21,7 @@ Two observations reproduce Table V exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

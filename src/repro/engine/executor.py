@@ -59,7 +59,15 @@ class Engine:
     Aggregate/Sort/top-k — run morsel-at-a-time through the morsel
     executor (page-skip reads, optional worker threads) instead of the
     monolithic operators; results are bit-identical either way.
+
+    ``analyze`` gates the static analyzer's host-relevant passes
+    (types + morsel safety) ahead of execution: ``"strict"`` raises
+    :class:`~repro.analysis.PlanRejected` on any analyzer error,
+    ``"warn"`` emits :class:`~repro.analysis.PlanAnalysisWarning` and
+    proceeds, ``"off"`` (default) skips analysis entirely.
     """
+
+    ANALYZE_MODES = ("off", "warn", "strict")
 
     def __init__(
         self,
@@ -67,10 +75,17 @@ class Engine:
         trace: QueryTrace | None = None,
         *,
         morsels=None,
+        analyze: str = "off",
     ):
+        if analyze not in self.ANALYZE_MODES:
+            raise ValueError(
+                f"analyze={analyze!r}; choose from {self.ANALYZE_MODES}"
+            )
         self.catalog = catalog
         self.trace = trace if trace is not None else QueryTrace()
         self.morsels = morsels
+        self.analyze = analyze
+        self._analyzed: set[int] = set()
         self._flash_layout = None
 
     def flash_layout(self):
@@ -88,7 +103,34 @@ class Engine:
         return self.execute_relation(plan).to_table(name)
 
     def execute_relation(self, plan: Plan) -> Relation:
+        self._maybe_analyze(plan)
         return self._run(plan)
+
+    def _maybe_analyze(self, plan: Plan) -> None:
+        """Run the host-relevant static passes once per plan object.
+
+        ``strict`` rejects plans with analyzer errors before any row is
+        touched; ``warn`` surfaces errors and warnings as
+        :class:`~repro.analysis.PlanAnalysisWarning` and proceeds.
+        """
+        if self.analyze == "off" or id(plan) in self._analyzed:
+            return
+        self._analyzed.add(id(plan))
+        import warnings
+
+        from repro.analysis import (
+            PlanAnalysisWarning,
+            PlanRejected,
+            analyze_plan,
+        )
+
+        report = analyze_plan(plan, self.catalog)
+        if self.analyze == "strict" and not report.ok:
+            raise PlanRejected(report)
+        for diagnostic in report.errors() + report.warnings():
+            warnings.warn(
+                str(diagnostic), PlanAnalysisWarning, stacklevel=3
+            )
 
     def scalar(self, plan: Plan) -> TypedArray:
         """Run a plan expected to produce exactly one value."""

@@ -21,8 +21,10 @@ keep the result bit-identical to the monolithic executor:
 
 Aggregates whose merge would change float rounding order (AVG, SUM over
 float values) and COUNT DISTINCT are *not* reduced per morsel: the
-fragment extractor refuses that terminal, the monolithic operator runs
-as usual, and extraction retries on the subtree below it.
+static analyzer's merge-safety proof
+(:func:`repro.analysis.morselsafety.aggregate_merge_verdict`) refuses
+that terminal, the monolithic operator runs as usual, and extraction
+retries on the subtree below it.
 
 Morsels are aligned so every column's page boundary is also a morsel
 boundary; morsels therefore touch disjoint page sets and the per-morsel
@@ -36,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.morselsafety import aggregate_merge_verdict
 from repro.core.row_selector import RowSelector, extract_predicate_program
 from repro.engine.operators.grouping import (
     GroupedKeys,
@@ -78,8 +81,6 @@ MORSEL_ALIGN_ROWS = PAGE_BYTES
 DEFAULT_MORSEL_ROWS = 8 * MORSEL_ALIGN_ROWS
 # The software selector is not bound by the FPGA's 4-evaluator budget.
 HOST_CP_EVALUATORS = 64
-
-_MERGEABLE_FUNCS = (AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN, AggFunc.MAX)
 
 
 @dataclass(frozen=True)
@@ -153,11 +154,11 @@ def extract_fragment(plan: Plan, catalog) -> Fragment | None:
         return None
     steps.reverse()
 
-    if kind == "aggregate" and not _aggregate_mergeable(
-        terminal, node, steps, catalog
-    ):
-        # Non-mergeable terminal (AVG / float SUM / COUNT DISTINCT):
-        # refuse the whole fragment here; the Aggregate runs
+    if kind == "aggregate" and not aggregate_merge_verdict(
+        terminal, node, tuple(steps), catalog
+    ).mergeable:
+        # Non-mergeable terminal (AVG / float SUM / COUNT DISTINCT /
+        # AQ4xx): refuse the whole fragment here; the Aggregate runs
         # monolithically and extraction retries on its child chain.
         return None
     if terminal is None and not steps:
@@ -175,52 +176,6 @@ def _has_subquery(expr: Expr) -> bool:
             return True
         stack.extend(node.children())
     return False
-
-
-def _aggregate_mergeable(
-    plan: Aggregate, scan: Scan, steps: list[Plan], catalog
-) -> bool:
-    """True when per-morsel partials merge bit-identically.
-
-    COUNT partials add, MIN/MAX partials re-reduce, and SUM partials
-    add exactly *only* on the int64 domain — float addition is not
-    associative, so AVG and float-valued SUMs stay monolithic.  SUM
-    value kinds are probed by running the chain on a zero-row morsel.
-    """
-    for spec in plan.aggregates:
-        if spec.func not in _MERGEABLE_FUNCS:
-            return False
-        if spec.expr is not None and _has_subquery(spec.expr):
-            return False
-    sums = [s for s in plan.aggregates if s.func is AggFunc.SUM]
-    if not sums:
-        return True
-    try:
-        table = catalog.table(scan.table)
-        names = (
-            scan.columns
-            if scan.columns is not None
-            else tuple(table.column_names)
-        )
-        rel = Relation(
-            {
-                n: _typed_values(
-                    table.column(n), table.column(n).values[:0]
-                )
-                for n in names
-            }
-        )
-        for step in steps:
-            rel = _apply_step(step, rel)
-        ctx = EvalContext(
-            columns=rel.columns, nrows=0, subquery_executor=None
-        )
-        for spec in sums:
-            if evaluate(spec.expr, ctx).kind is Kind.FLOAT:
-                return False
-    except Exception:
-        return False
-    return True
 
 
 def _needed_scan_columns(frag: Fragment) -> set[str] | None:

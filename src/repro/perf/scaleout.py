@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from repro.perf.model import (
     BASELINE_READ_BANDWIDTH,
     QUERY_OVERHEAD_S,
-    HostConfig,
     SystemModel,
 )
 from repro.perf.trace import QueryTrace

@@ -17,7 +17,7 @@ either.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.perf.trace import OpTrace, QueryTrace
 

@@ -35,6 +35,7 @@ from repro.sqlir.expr import (
 )
 from repro.sqlir.plan import (
     Aggregate,
+    AggSpec,
     Distinct,
     Filter,
     Join,
@@ -45,6 +46,9 @@ from repro.sqlir.plan import (
     Scan,
     Sort,
     SortKey,
+    assign_node_ids,
+    node_exprs,
+    subquery_plans,
 )
 from repro.sqlir.builder import PlanBuilder, scan
 from repro.sqlir.parser import SelectStatement, SqlSyntaxError, parse_sql
@@ -81,10 +85,14 @@ __all__ = [
     "Join",
     "JoinKind",
     "Aggregate",
+    "AggSpec",
     "Sort",
     "SortKey",
     "Limit",
     "Distinct",
+    "assign_node_ids",
+    "node_exprs",
+    "subquery_plans",
     # builder
     "PlanBuilder",
     "scan",

@@ -16,8 +16,7 @@ already-planned trees in the paper's stack too.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from enum import Enum
+from dataclasses import dataclass
 
 from repro.sqlir.expr import (
     AggFunc,

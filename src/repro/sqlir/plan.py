@@ -7,15 +7,19 @@ AQUOMAN compiler walks to carve out offloadable subtrees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Sequence
 
-from repro.sqlir.expr import AggFunc, Expr
+from repro.sqlir.expr import AggFunc, Expr, ScalarSubquery
 
 
 class Plan:
     """Base class for plan nodes."""
+
+    # Stable tree-position id assigned by :func:`assign_node_ids`; used
+    # by the static analyzer as the diagnostic locus.  ``None`` until a
+    # numbering pass runs.
+    node_id: int | None = None
 
     def children(self) -> tuple["Plan", ...]:
         return ()
@@ -181,3 +185,59 @@ class Distinct(Plan):
 
     def __repr__(self) -> str:
         return "Distinct()"
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities (shared by the compiler and the static analyzer)
+# ---------------------------------------------------------------------------
+
+
+def node_exprs(node: Plan) -> tuple[Expr, ...]:
+    """Every expression a plan node evaluates, in a stable order."""
+    if isinstance(node, Filter):
+        return (node.predicate,)
+    if isinstance(node, Project):
+        return tuple(expr for _, expr in node.outputs)
+    if isinstance(node, Join):
+        return (node.residual,) if node.residual is not None else ()
+    if isinstance(node, Aggregate):
+        exprs = [a.expr for a in node.aggregates if a.expr is not None]
+        if node.having is not None:
+            exprs.append(node.having)
+        return tuple(exprs)
+    return ()
+
+
+def subquery_plans(expr: Expr) -> list[Plan]:
+    """Plans of every :class:`ScalarSubquery` nested inside ``expr``."""
+    plans: list[Plan] = []
+    stack: list[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ScalarSubquery):
+            plans.append(node.plan)
+        stack.extend(node.children())
+    return plans
+
+
+def assign_node_ids(root: Plan, start: int = 0) -> int:
+    """Number every node of ``root`` pre-order, descending into scalar
+    subquery plans, and return the next unused id.
+
+    Idempotent: re-running renumbers deterministically, so diagnostics
+    produced from the same tree always agree on loci.
+    """
+    counter = start
+
+    def visit(node: Plan) -> None:
+        nonlocal counter
+        node.node_id = counter
+        counter += 1
+        for child in node.children():
+            visit(child)
+        for expr in node_exprs(node):
+            for sub in subquery_plans(expr):
+                visit(sub)
+
+    visit(root)
+    return counter

@@ -45,7 +45,6 @@ from repro.tpch.schema import (
     SHIP_INSTRUCTS,
     SHIP_MODES,
     START_DATE,
-    TPCH_TABLES,
     TYPE_SYLLABLE_1,
     TYPE_SYLLABLE_2,
     TYPE_SYLLABLE_3,

@@ -6,8 +6,7 @@ into one surrogate key column (partkey * 10^8 + suppkey — suppkeys are
 < 10^8 at any realistic SF).
 """
 
-from repro.sqlir import AggFunc, ExtractYear, col, lit, scan
-from repro.sqlir.builder import desc
+from repro.sqlir import AggFunc, ExtractYear, col, scan
 from repro.sqlir.expr import Like
 from repro.sqlir.plan import Plan
 from repro.sqlir.builder import SortKey

@@ -6,7 +6,7 @@ order keys — the paper's Q18 is the extreme Aggregate-GroupBy spill
 case (~1.5 billion groups against AQUOMAN's 1024 buckets).
 """
 
-from repro.sqlir import AggFunc, JoinKind, col, lit, scan
+from repro.sqlir import AggFunc, JoinKind, col, scan
 from repro.sqlir.builder import desc
 from repro.sqlir.expr import lit_decimal
 from repro.sqlir.plan import Plan

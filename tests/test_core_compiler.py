@@ -7,7 +7,7 @@ from repro.core.compiler import QueryCompiler, SuspendReason
 from repro.core.tabletask import SwissknifeOp
 from repro.sqlir import AggFunc, col, lit, lit_date, scan
 from repro.sqlir.expr import Like, ScalarSubquery, Substring
-from repro.sqlir.plan import Aggregate, Filter, Join, Scan
+from repro.sqlir.plan import Aggregate, Scan
 
 SF1000_RATIO = 1000 / 0.01
 

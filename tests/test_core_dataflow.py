@@ -22,7 +22,6 @@ from repro.sqlir.expr import (
     col,
     evaluate,
     lit,
-    lit_decimal,
 )
 from repro.storage.types import date_to_days
 

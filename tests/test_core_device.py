@@ -16,7 +16,7 @@ from repro.core.row_selector import (
     PredicateOp,
     PredicateProgram,
 )
-from repro.sqlir.expr import Like, col, lit
+from repro.sqlir.expr import col, lit
 from repro.storage import Catalog, Column, Table
 from repro.storage.types import DECIMAL, INT64, date_to_days
 

@@ -11,7 +11,7 @@ from repro.core.row_selector import (
     SelectorOverflow,
     extract_predicate_program,
 )
-from repro.sqlir.expr import InList, Like, col, lit, lit_date
+from repro.sqlir.expr import Like, col, lit, lit_date
 from repro.util.bitvector import BitVector
 
 

@@ -6,14 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.swissknife.groupby import (
-    HASH_BUCKETS,
     AggregateGroupBy,
     bucket_of,
     zip_group_columns,
 )
 from repro.core.swissknife.merger import Merger, merge_intersect
 from repro.core.swissknife.sorter import (
-    SORT_BLOCK_BYTES,
     SorterThroughputModel,
     StreamingSorter,
 )

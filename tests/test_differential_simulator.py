@@ -7,7 +7,6 @@ returns, whatever the offload boundary turned out to be.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

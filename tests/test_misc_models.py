@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.resources import component_inventory, sorter_inventory
 from repro.engine.pagecache import LruPageCache
-from repro.engine.relation import Relation, typed_array_from_column
+from repro.engine.relation import Relation
 from repro.sqlir.expr import Kind, TypedArray
 from repro.storage import Column, Table
 from repro.storage.types import DECIMAL, INT64

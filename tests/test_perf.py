@@ -90,16 +90,16 @@ class TestHostModel:
                         bytes_in=8 * 10**9, bytes_out=8 * 10**9)
         trace = make_trace(flash_gb=0.001, ops=[heavy])
         s = SystemModel(HOST_S).time_query(trace)
-        l = SystemModel(HOST_L).time_query(trace)
-        assert l.runtime_s < s.runtime_s
+        large = SystemModel(HOST_L).time_query(trace)
+        assert large.runtime_s < s.runtime_s
 
     def test_amdahl_limits_scaling(self):
         heavy = OpTrace("join", rows_in=10**9, rows_out=10**9,
                         bytes_in=8 * 10**9, bytes_out=8 * 10**9)
         trace = make_trace(flash_gb=0.001, ops=[heavy])
         s = SystemModel(HOST_S).time_query(trace)
-        l = SystemModel(HOST_L).time_query(trace)
-        assert s.runtime_s / l.runtime_s < 8  # not the 8x thread ratio
+        large = SystemModel(HOST_L).time_query(trace)
+        assert s.runtime_s / large.runtime_s < 8  # not the 8x thread ratio
 
     def test_swap_penalty_over_dram(self):
         small = SystemModel(HOST_S)  # 16 GB DRAM

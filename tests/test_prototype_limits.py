@@ -5,7 +5,6 @@ The prototype shipped with 4 Column Predicate Evaluators, 4 PEs with
 the simulator's defaults.  These tests pin down what each limit does.
 """
 
-import numpy as np
 import pytest
 
 from repro import tpch

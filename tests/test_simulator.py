@@ -5,14 +5,13 @@ TPC-H query, hybrid device+host execution returns *bit-identical*
 results to the pure-software baseline.
 """
 
-import numpy as np
 import pytest
 
 from repro import tpch
 from repro.core import AquomanSimulator, DeviceConfig
 from repro.core.compiler import SuspendReason
 from repro.engine import Engine
-from repro.sqlir import AggFunc, col, lit, lit_date, scan
+from repro.sqlir import AggFunc, col, lit_date, scan
 from repro.util.units import GB, MB
 
 SF1000_RATIO = 1000 / 0.01

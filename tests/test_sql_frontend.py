@@ -13,13 +13,10 @@ from repro.sqlir import (
 from repro.sqlir.expr import (
     BoolExpr,
     CaseWhen,
-    Compare,
     ExtractYear,
-    InList,
-    Like,
     Substring,
 )
-from repro.sqlir.plan import Aggregate, Filter, Join, Limit, Scan, Sort
+from repro.sqlir.plan import Filter, Join, Scan
 
 
 class TestParser:

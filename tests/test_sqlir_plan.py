@@ -1,6 +1,5 @@
 """Plan nodes and the builder DSL."""
 
-import pytest
 
 from repro.sqlir import (
     Aggregate,

@@ -6,7 +6,6 @@ cross-query consistency relations that must hold on *any* TPC-H
 population.
 """
 
-import numpy as np
 import pytest
 
 from repro import tpch
