@@ -8,18 +8,34 @@ Commands:
   system configurations, SF-1000 scaling);
 - ``explain``  — per-node offload decisions for one query;
 - ``analyze``  — static analysis: typecheck, suspend prediction,
-  PE-program verification and morsel-safety proofs, without executing.
+  PE-program verification and morsel-safety proofs, without executing;
+- ``profile``  — run one query under the runtime tracer and export a
+  ``chrome://tracing`` span timeline, Prometheus metrics and a flame
+  summary (``--trace-out`` / ``--metrics-out``).
+
+``query`` and ``evaluate`` also accept ``--trace-out``/``--metrics-out``
+to record without the profile-specific defaults.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import tpch
 from repro.core import AquomanSimulator, DeviceConfig
 from repro.core.compiler import QueryCompiler
 from repro.engine import Engine
+from repro.obs import (
+    METRICS,
+    Tracer,
+    flame_summary,
+    prometheus_text,
+    set_global_tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.sqlir import plan_sql
 from repro.util.units import GB, fmt_bytes
 
@@ -35,6 +51,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace-event JSON (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write Prometheus text-exposition metrics",
+    )
+
+
 def _plan_of(args, db):
     if args.sql is not None:
         return plan_sql(args.sql, db)
@@ -43,12 +70,47 @@ def _plan_of(args, db):
     return tpch.query(args.number)
 
 
+def _query_name(args) -> str:
+    return args.sql or f"q{args.number:02d}"
+
+
+def _obs_tracer(args) -> Tracer | None:
+    """A live tracer when any observability export was requested."""
+    if getattr(args, "trace_out", None) or getattr(
+        args, "metrics_out", None
+    ):
+        METRICS.reset()
+        return Tracer()
+    return None
+
+
+def _export_obs(tracer: Tracer | None, args, **metadata) -> None:
+    if tracer is None:
+        return
+    if args.trace_out:
+        doc = write_chrome_trace(tracer, args.trace_out,
+                                 metadata=metadata)
+        problems = validate_chrome_trace(doc)
+        if problems:  # pragma: no cover - exporter self-check
+            raise SystemExit(
+                f"invalid trace export: {'; '.join(problems)}"
+            )
+        print(f"chrome trace: {args.trace_out} "
+              f"(load in chrome://tracing)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(prometheus_text(METRICS))
+        print(f"metrics: {args.metrics_out}")
+
+
 def cmd_query(args) -> int:
     db = tpch.generate(args.sf)
+    # Plan once; both executors take the same plan object.
     plan = _plan_of(args, db)
-    name = args.sql or f"q{args.number:02d}"
+    name = _query_name(args)
+    tracer = _obs_tracer(args)
 
-    table = Engine(db).execute(plan)
+    table = Engine(db, tracer=tracer).execute(plan)
     print(table.head(args.rows))
     print(f"({table.nrows} rows)")
 
@@ -57,8 +119,9 @@ def cmd_query(args) -> int:
             dram_bytes=int(args.dram_gb * GB),
             scale_ratio=args.target_sf / args.sf,
         )
-        result = AquomanSimulator(db, config).run(_plan_of(args, db),
-                                                  query=name)
+        result = AquomanSimulator(db, config, tracer=tracer).run(
+            plan, query=name
+        )
         trace = result.trace
         match = table.equals(result.table.renamed("result"))
         print(
@@ -67,6 +130,7 @@ def cmd_query(args) -> int:
             f"flash={fmt_bytes(trace.aquoman_flash_bytes)} "
             f"suspended={trace.suspend_reason or 'no'}"
         )
+    _export_obs(tracer, args, query=name)
     return 0
 
 
@@ -74,7 +138,9 @@ def cmd_evaluate(args) -> int:
     from repro.perf.tpch_eval import collect_traces
 
     db = tpch.generate(args.sf)
-    evaluation = collect_traces(db, target_sf=args.target_sf)
+    tracer = _obs_tracer(args)
+    evaluation = collect_traces(db, target_sf=args.target_sf,
+                                tracer=tracer)
     report = evaluation.report(args.target_sf)
 
     print(f"{'query':>6} " + " ".join(f"{s:>10}" for s in report.systems))
@@ -89,6 +155,60 @@ def cmd_evaluate(args) -> int:
     print(f"{'total':>6} {totals}")
     print(f"mean CPU saving : {report.mean_cpu_saving():.0%}")
     print(f"mean DRAM saving: {report.mean_dram_saving():.0%}")
+    _export_obs(tracer, args, queries=len(report.queries))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run one query under the tracer and export its span timeline."""
+    from repro.engine.morsel import MorselConfig
+
+    db = tpch.generate(args.sf)
+    plan = _plan_of(args, db)
+    name = _query_name(args)
+    if not args.trace_out:
+        stem = f"q{args.number:02d}" if args.number is not None else "sql"
+        args.trace_out = f"{stem}.trace.json"
+
+    METRICS.reset()
+    tracer = Tracer()
+    # The ambient tracer lets module-level spans (storage I/O, the
+    # analysis passes) land in the same timeline.
+    set_global_tracer(tracer)
+    try:
+        wall0 = time.monotonic_ns()
+        with tracer.span("profile.query", query=name):
+            engine = Engine(
+                db,
+                tracer=tracer,
+                morsels=MorselConfig(
+                    parallel=True,
+                    morsel_rows=args.morsel_rows,
+                    n_workers=args.workers,
+                ),
+            )
+            table = engine.execute(plan)
+            if not args.no_device:
+                config = DeviceConfig(
+                    dram_bytes=int(args.dram_gb * GB),
+                    scale_ratio=args.target_sf / args.sf,
+                )
+                AquomanSimulator(db, config, tracer=tracer).run(
+                    plan, query=name
+                )
+        wall_ns = time.monotonic_ns() - wall0
+    finally:
+        set_global_tracer(None)
+
+    root_ns = tracer.total_ns("profile.query")
+    coverage = root_ns / wall_ns if wall_ns else 0.0
+    print(flame_summary(tracer, top=args.top))
+    print(
+        f"\n{name}: {table.nrows} rows, "
+        f"wall {wall_ns / 1e6:.1f} ms, span coverage {coverage:.1%}"
+    )
+    _export_obs(tracer, args, query=name, coverage=round(coverage, 4),
+                wall_ms=round(wall_ns / 1e6, 3))
     return 0
 
 
@@ -150,11 +270,39 @@ def main(argv: list[str] | None = None) -> int:
     p_query.add_argument("--dram-gb", type=float, default=40.0)
     p_query.add_argument("--no-device", action="store_true")
     _add_common(p_query)
+    _add_obs(p_query)
     p_query.set_defaults(func=cmd_query)
 
     p_eval = sub.add_parser("evaluate", help="the Fig. 16 evaluation")
     _add_common(p_eval)
+    _add_obs(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="trace one query's runtime and export the timeline",
+    )
+    p_profile.add_argument("number", type=int, nargs="?",
+                           help="TPC-H query number (1-22)")
+    p_profile.add_argument("--sql", help="a SQL string instead")
+    p_profile.add_argument("--dram-gb", type=float, default=40.0)
+    p_profile.add_argument("--no-device", action="store_true")
+    p_profile.add_argument(
+        "--workers", type=int, default=4,
+        help="morsel worker threads = trace lanes (default 4)",
+    )
+    p_profile.add_argument(
+        "--morsel-rows", type=int, default=8192,
+        help="rows per morsel; small default so tiny SFs still "
+        "fan out (default 8192)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15,
+        help="flame-summary rows to print (default 15)",
+    )
+    _add_common(p_profile)
+    _add_obs(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
 
     p_generate = sub.add_parser(
         "generate", help="write a TPC-H catalog as column files"

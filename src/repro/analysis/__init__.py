@@ -60,6 +60,7 @@ from repro.analysis.typecheck import (
     TypeChecker,
     scan_schema,
 )
+from repro.obs import METRICS, get_tracer
 from repro.sqlir.expr import ColumnRef, Kind
 from repro.sqlir.plan import (
     Plan,
@@ -119,30 +120,39 @@ def analyze_plan(
             f"unknown analysis pass(es) {unknown}; choose from {ALL_PASSES}"
         )
 
+    tracer = get_tracer()
     report = AnalysisReport(passes=tuple(passes))
-    report.n_nodes = assign_node_ids(plan)
+    with tracer.span("analysis.plan", passes=",".join(passes)):
+        report.n_nodes = assign_node_ids(plan)
 
-    if "types" in passes:
-        checker = TypeChecker(catalog)
-        checker.check(plan)
-        report.diagnostics.extend(checker.diagnostics)
+        if "types" in passes:
+            with tracer.span("analysis.types"):
+                checker = TypeChecker(catalog)
+                checker.check(plan)
+                report.diagnostics.extend(checker.diagnostics)
 
-    if "suspend" in passes:
-        if device is None:
-            raise ValueError(
-                "the 'suspend' pass needs a DeviceConfig (device=...)"
-            )
-        predictor = SuspendPredictor(catalog, device)
-        predictions, diagnostics = predictor.predict(plan)
-        report.suspend.update(predictions)
-        report.diagnostics.extend(diagnostics)
+        if "suspend" in passes:
+            if device is None:
+                raise ValueError(
+                    "the 'suspend' pass needs a DeviceConfig (device=...)"
+                )
+            with tracer.span("analysis.suspend"):
+                predictor = SuspendPredictor(catalog, device)
+                predictions, diagnostics = predictor.predict(plan)
+                report.suspend.update(predictions)
+                report.diagnostics.extend(diagnostics)
 
-    if "pe" in passes:
-        report.diagnostics.extend(_pe_pass(plan, catalog, device))
+        if "pe" in passes:
+            with tracer.span("analysis.pe"):
+                report.diagnostics.extend(_pe_pass(plan, catalog, device))
 
-    if "morsel" in passes:
-        report.fragments = fragment_verdicts(plan, catalog)
+        if "morsel" in passes:
+            with tracer.span("analysis.morsel"):
+                report.fragments = fragment_verdicts(plan, catalog)
 
+    METRICS.counter(
+        "analysis.plans_analyzed", "analyze_plan invocations"
+    ).inc()
     return report
 
 

@@ -31,6 +31,7 @@ from repro.core.swissknife.topk import TopKAccelerator
 from repro.core.tabletask import SwissknifeOp, TableTask, TaskOutput
 from repro.engine.relation import Relation, typed_array_from_column
 from repro.flash.nand import FlashConfig
+from repro.obs import METRICS, NULL_TRACER, NullTracer, Tracer
 from repro.sqlir.expr import (
     EvalContext,
     Expr,
@@ -82,9 +83,15 @@ class DeviceMeters:
 class AquomanDevice:
     """One AQUOMAN-augmented SSD holding a catalog's column files."""
 
-    def __init__(self, catalog: Catalog, config: DeviceConfig | None = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: DeviceConfig | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ):
         self.catalog = catalog
         self.config = config or DeviceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.layout = FlashLayout(catalog)
         self.memory = DeviceMemory(
             capacity_bytes=self.config.dram_bytes,
@@ -116,12 +123,19 @@ class AquomanDevice:
         """
         extent = self.layout.extent(table, column)
         if mask is None:
-            nbytes = extent.n_pages * PAGE_BYTES
+            touched = extent.n_pages
         else:
             per_page = extent.rows_per_page()
             touched = int(mask.group_any(per_page).sum())
-            nbytes = touched * PAGE_BYTES
+        nbytes = touched * PAGE_BYTES
         self.meters.flash_bytes += nbytes
+        METRICS.counter(
+            "device.flash_pages_read", "pages streamed off flash"
+        ).inc(touched)
+        METRICS.counter(
+            "device.flash_pages_skipped",
+            "fully-masked pages the Table Reader skipped",
+        ).inc(extent.n_pages - touched)
         return nbytes
 
     def effective_heap_bytes(self, heap) -> int:
@@ -152,10 +166,20 @@ class AquomanDevice:
         base = self.catalog.table(task.table)
         nrows = base.nrows
 
-        mask = self._resolve_mask(task, nrows)
-        mask = self._run_row_selector(task, base, mask)
-        transformed = self._run_row_transformer(task, base, mask)
-        output = self._run_swissknife(task, transformed)
+        tracer = self.tracer
+        with tracer.span("device.table_task", lane="device",
+                         table=task.table):
+            mask = self._resolve_mask(task, nrows)
+            with tracer.span("device.row_selector",
+                             lane="device.row_selector", rows_in=nrows):
+                mask = self._run_row_selector(task, base, mask)
+            with tracer.span("device.transformer",
+                             lane="device.transformer"):
+                transformed = self._run_row_transformer(task, base, mask)
+            with tracer.span("device.swissknife",
+                             lane="device.swissknife",
+                             op=task.operator.name.lower()):
+                output = self._run_swissknife(task, transformed)
 
         if task.output is TaskOutput.AQUOMAN_MEM:
             if not task.output_name:

@@ -38,6 +38,7 @@ from repro.core.swissknife.groupby import HASH_BUCKETS, zip_group_columns
 from repro.engine.executor import Engine, aggregate_relation
 from repro.engine.operators.joins import inner_join_indices, semi_join_mask
 from repro.engine.relation import Relation, typed_array_from_column
+from repro.obs import METRICS, NULL_TRACER, NullTracer, Tracer
 from repro.perf.trace import OpTrace, QueryTrace
 from repro.sqlir.expr import ColumnRef, Kind, TypedArray
 from repro.sqlir.plan import (
@@ -104,6 +105,7 @@ class DeviceExecutor:
     def __init__(self, device: AquomanDevice, scalar_executor):
         self.device = device
         self.catalog = device.catalog
+        self.tracer = device.tracer
         self.scalar_executor = scalar_executor
         self.rows_processed = 0
         self.spilled_rows = 0  # group-by rows the host must accumulate
@@ -114,7 +116,8 @@ class DeviceExecutor:
     def run(self, plan: Plan) -> Relation:
         try:
             dev = self._exec(plan)
-            self._finalize_output(dev)
+            with self.tracer.span("device.output_dma", lane="device"):
+                self._finalize_output(dev)
             return dev.relation
         finally:
             for name in self._allocations:
@@ -150,21 +153,26 @@ class DeviceExecutor:
     # -- dispatch ----------------------------------------------------------------
 
     def _exec(self, plan: Plan) -> _DeviceRel:
-        if isinstance(plan, Scan):
-            return self._exec_scan(plan)
-        if isinstance(plan, Filter):
-            return self._exec_filter(plan)
-        if isinstance(plan, Project):
-            return self._exec_project(plan)
-        if isinstance(plan, Join):
-            return self._exec_join(plan)
-        if isinstance(plan, Aggregate):
-            return self._exec_aggregate(plan)
-        if isinstance(plan, Distinct):
-            return self._exec_distinct(plan)
-        raise NotImplementedError(
-            f"device cannot execute {type(plan).__name__}"
-        )
+        handler = {
+            Scan: self._exec_scan,
+            Filter: self._exec_filter,
+            Project: self._exec_project,
+            Join: self._exec_join,
+            Aggregate: self._exec_aggregate,
+            Distinct: self._exec_distinct,
+        }.get(type(plan))
+        if handler is None:
+            raise NotImplementedError(
+                f"device cannot execute {type(plan).__name__}"
+            )
+        if not self.tracer.enabled:
+            return handler(plan)
+        with self.tracer.span(
+            "device." + type(plan).__name__.lower(), lane="device"
+        ) as span:
+            out = handler(plan)
+            span.set(rows_out=out.relation.nrows)
+            return out
 
     # -- operators ------------------------------------------------------------------
 
@@ -208,35 +216,45 @@ class DeviceExecutor:
 
         # Row Selector: CP columns stream in full (under the current
         # mask) and produce the first-cut row mask.
-        for term in program.terms:
-            self._consume(dev, term.column)
-        # One cast per distinct CP column, not one per term.
-        cast: dict[str, np.ndarray] = {}
-        for name in program.columns:
-            values = dev.relation.column(name).values
-            if values.dtype != np.int64:
-                values = values.astype(np.int64)
-            cast[name] = values
-        keep = np.ones(nrows, dtype=np.bool_)
-        for term in program.terms:
-            keep &= term.evaluate(cast[term.column])
-        self.device.meters.rows_selected += int(keep.sum())
-        selected = dev.masked(keep)
+        with self.tracer.span(
+            "device.row_selector", lane="device.row_selector",
+            rows_in=nrows,
+        ):
+            for term in program.terms:
+                self._consume(dev, term.column)
+            # One cast per distinct CP column, not one per term.
+            cast: dict[str, np.ndarray] = {}
+            for name in program.columns:
+                values = dev.relation.column(name).values
+                if values.dtype != np.int64:
+                    values = values.astype(np.int64)
+                cast[name] = values
+            keep = np.ones(nrows, dtype=np.bool_)
+            for term in program.terms:
+                keep &= term.evaluate(cast[term.column])
+            self.device.meters.rows_selected += int(keep.sum())
+            selected = dev.masked(keep)
 
         if leftover is not None:
             # Forwarded to the Row Transformer (Sec. VI-A): remaining
             # columns stream under the selector's mask.
-            for name in leftover.column_refs():
-                self._consume(selected, name)
-            self.device.meters.rows_transformed += selected.relation.nrows
-            mask_rel = self.device._transform(
-                (("@mask", leftover),),
-                selected.relation.columns,
-                selected.relation.nrows,
-                subquery_executor=self.scalar_executor,
-            )
-            keep2 = mask_rel.column("@mask").values.astype(np.bool_)
-            selected = selected.masked(keep2)
+            with self.tracer.span(
+                "device.transformer", lane="device.transformer",
+                rows_in=selected.relation.nrows,
+            ):
+                for name in leftover.column_refs():
+                    self._consume(selected, name)
+                self.device.meters.rows_transformed += (
+                    selected.relation.nrows
+                )
+                mask_rel = self.device._transform(
+                    (("@mask", leftover),),
+                    selected.relation.columns,
+                    selected.relation.nrows,
+                    subquery_executor=self.scalar_executor,
+                )
+                keep2 = mask_rel.column("@mask").values.astype(np.bool_)
+                selected = selected.masked(keep2)
         return selected
 
     def _exec_project(self, plan: Project) -> _DeviceRel:
@@ -248,12 +266,16 @@ class DeviceExecutor:
             for name in expr.column_refs():
                 self._consume(dev, name)
 
-        transformed = self.device._transform(
-            plan.outputs,
-            dev.relation.columns,
-            nrows,
-            subquery_executor=self.scalar_executor,
-        )
+        with self.tracer.span(
+            "device.transformer", lane="device.transformer",
+            rows_in=nrows,
+        ):
+            transformed = self.device._transform(
+                plan.outputs,
+                dev.relation.columns,
+                nrows,
+                subquery_executor=self.scalar_executor,
+            )
         self.device.meters.rows_transformed += nrows
 
         origin: dict[str, tuple[str, str]] = {}
@@ -474,23 +496,29 @@ class DeviceExecutor:
             self._consume(dev, name)
 
         # The hash-table model: spills counted against 1024 buckets.
-        key_arrays = [dev.relation.column(k) for k in plan.keys]
-        if key_arrays and nrows:
-            widths = [4 if a.kind is Kind.STR else 8 for a in key_arrays]
-            zipped, id_bytes = zip_group_columns(
-                [a.values for a in key_arrays], widths
-            )
-            stats = self.device.groupby_accel.run(
-                zipped,
-                {"@count": np.ones(nrows, dtype=np.int64)},
-                {"@count": "cnt"},
-                group_id_bytes=id_bytes,
-            )
-            self.device.meters.spilled_groups += stats.n_spilled_groups
-            self.spilled_rows += len(stats.spilled_rows)
+        with self.tracer.span(
+            "device.swissknife", lane="device.swissknife",
+            op="aggregate_groupby", rows_in=nrows,
+        ):
+            key_arrays = [dev.relation.column(k) for k in plan.keys]
+            if key_arrays and nrows:
+                widths = [
+                    4 if a.kind is Kind.STR else 8 for a in key_arrays
+                ]
+                zipped, id_bytes = zip_group_columns(
+                    [a.values for a in key_arrays], widths
+                )
+                stats = self.device.groupby_accel.run(
+                    zipped,
+                    {"@count": np.ones(nrows, dtype=np.int64)},
+                    {"@count": "cnt"},
+                    group_id_bytes=id_bytes,
+                )
+                self.device.meters.spilled_groups += stats.n_spilled_groups
+                self.spilled_rows += len(stats.spilled_rows)
 
-        out, _ = aggregate_relation(dev.relation, plan,
-                                    self.scalar_executor)
+            out, _ = aggregate_relation(dev.relation, plan,
+                                        self.scalar_executor)
         return _DeviceRel(
             relation=out, rowid_map={}, origin={}, charged=dev.charged
         )
@@ -522,8 +550,9 @@ class HybridEngine(Engine):
         decisions: dict[int, OffloadDecision],
         offload_roots: set[int],
         trace: QueryTrace,
+        tracer: Tracer | NullTracer | None = None,
     ):
-        super().__init__(catalog, trace)
+        super().__init__(catalog, trace, tracer=tracer)
         self.device = device
         self.decisions = decisions
         self.offload_roots = offload_roots
@@ -538,8 +567,13 @@ class HybridEngine(Engine):
         if id(plan) in self.offload_roots and worth_offloading:
             meters_snapshot = replace(self.device.meters)
             executor = DeviceExecutor(self.device, self.scalar)
+            subtree = self.tracer.span(
+                "device.subtree", lane="device",
+                root=type(plan).__name__.lower(),
+            )
             try:
-                relation = executor.run(plan)
+                with subtree:
+                    relation = executor.run(plan)
                 self.device_rows += executor.rows_processed
                 if executor.spilled_rows:
                     # Spilled group-by buckets accumulate on the host
@@ -565,12 +599,23 @@ class HybridEngine(Engine):
                     meters_snapshot.__dict__
                 )
                 self.runtime_suspensions.add(SuspendReason.DRAM_EXCEEDED)
+                self._record_suspend(SuspendReason.DRAM_EXCEEDED)
             except HeapTooLarge:
                 self.device.meters.__dict__.update(
                     meters_snapshot.__dict__
                 )
                 self.runtime_suspensions.add(SuspendReason.STRING_HEAP)
+                self._record_suspend(SuspendReason.STRING_HEAP)
         return super()._run(plan)
+
+    def _record_suspend(self, reason: SuspendReason) -> None:
+        """Mark a runtime suspension + rollback in spans and metrics."""
+        self.tracer.instant(
+            "device.suspend", lane="device", reason=reason.value
+        )
+        METRICS.counter(
+            "device.suspensions", "subtrees rolled back to the host"
+        ).inc()
 
     def _run_aggregate(self, plan: Aggregate) -> Relation:
         out = super()._run_aggregate(plan)
@@ -598,15 +643,18 @@ class AquomanSimulator:
         self,
         catalog,
         config: DeviceConfig | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.catalog = catalog
         self.config = config or DeviceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.compiler = QueryCompiler(
             catalog, scale_ratio=self.config.scale_ratio
         )
 
     def run(self, plan: Plan, query: str = "") -> SimulationResult:
-        compiled = self.compiler.compile(plan)
+        with self.tracer.span("device.compile", query=query):
+            compiled = self.compiler.compile(plan)
 
         decisions: dict[int, OffloadDecision] = {}
         offload_roots: set[int] = set()
@@ -614,13 +662,16 @@ class AquomanSimulator:
             decisions.update(unit.decisions)
             offload_roots.update(id(r) for r in unit.offload_roots())
 
-        device = AquomanDevice(self.catalog, self.config)
+        device = AquomanDevice(
+            self.catalog, self.config, tracer=self.tracer
+        )
         trace = QueryTrace(
             query=query,
             scale_factor=getattr(self.catalog, "scale_factor", 1.0),
         )
         engine = HybridEngine(
-            self.catalog, device, decisions, offload_roots, trace
+            self.catalog, device, decisions, offload_roots, trace,
+            tracer=self.tracer,
         )
         relation = engine.execute_relation(plan)
 
@@ -633,6 +684,11 @@ class AquomanSimulator:
             device.memory.peak_effective / ratio
         )
         trace.groupby_spill_groups += meters.spilled_groups
+        if meters.spilled_groups:
+            METRICS.counter(
+                "device.spilled_groups",
+                "group-by buckets spilled to the host",
+            ).inc(meters.spilled_groups)
 
         host_rows = sum(op.rows_in for op in trace.ops)
         total_rows = host_rows + engine.device_rows

@@ -25,6 +25,7 @@ from repro.engine.operators.grouping import (
 from repro.engine.operators.joins import inner_join_indices, semi_join_mask
 from repro.engine.operators.sorting import multi_key_order
 from repro.engine.relation import Relation, typed_array_from_column
+from repro.obs import METRICS, NULL_TRACER, NullTracer, Tracer
 from repro.perf.trace import OpTrace, QueryTrace
 from repro.sqlir.expr import (
     AggFunc,
@@ -76,6 +77,7 @@ class Engine:
         *,
         morsels=None,
         analyze: str = "off",
+        tracer: Tracer | NullTracer | None = None,
     ):
         if analyze not in self.ANALYZE_MODES:
             raise ValueError(
@@ -83,6 +85,9 @@ class Engine:
             )
         self.catalog = catalog
         self.trace = trace if trace is not None else QueryTrace()
+        # ``trace`` is the modeled data flow; ``tracer`` is the runtime
+        # wall-clock (repro.obs).  Defaults to the free no-op tracer.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.morsels = morsels
         self.analyze = analyze
         self._analyzed: set[int] = set()
@@ -104,7 +109,10 @@ class Engine:
 
     def execute_relation(self, plan: Plan) -> Relation:
         self._maybe_analyze(plan)
-        return self._run(plan)
+        if not self.tracer.enabled:
+            return self._run(plan)
+        with self.tracer.span("engine.query", query=self.trace.query):
+            return self._run(plan)
 
     def _maybe_analyze(self, plan: Plan) -> None:
         """Run the host-relevant static passes once per plan object.
@@ -124,7 +132,11 @@ class Engine:
             analyze_plan,
         )
 
-        report = analyze_plan(plan, self.catalog)
+        with self.tracer.span("analysis.gate", mode=self.analyze):
+            report = analyze_plan(plan, self.catalog)
+        METRICS.counter(
+            "analysis.gates_run", "plans checked before execution"
+        ).inc()
         if self.analyze == "strict" and not report.ok:
             raise PlanRejected(report)
         for diagnostic in report.errors() + report.warnings():
@@ -159,7 +171,16 @@ class Engine:
             Limit: self._run_limit,
             Distinct: self._run_distinct,
         }[type(plan)]
-        return handler(plan)
+        if not self.tracer.enabled:
+            return handler(plan)
+        # The span covers the whole subtree (children recurse inside
+        # it); the flame summary's self-time subtracts them back out.
+        with self.tracer.span(
+            "engine." + type(plan).__name__.lower()
+        ) as span:
+            out = handler(plan)
+            span.set(rows_out=out.nrows)
+            return out
 
     def _run_morsel(self, plan: Plan) -> Relation | None:
         """Stream a fragment rooted at ``plan``; None = not streamable."""

@@ -51,6 +51,7 @@ from repro.engine.operators.grouping import (
 from repro.engine.operators.sorting import multi_key_order
 from repro.engine.relation import Relation
 from repro.flash.channels import ChannelMeter
+from repro.obs import METRICS
 from repro.perf.trace import OpTrace
 from repro.sqlir.expr import (
     AggFunc,
@@ -305,6 +306,7 @@ class MorselExecutor:
         self.engine = engine
         self.config: MorselConfig = engine.morsels
         self.trace = engine.trace
+        self.tracer = engine.tracer
         self.fragment = fragment
         self.table = engine.catalog.table(fragment.scan.table)
         self.layout = engine.flash_layout()
@@ -323,28 +325,43 @@ class MorselExecutor:
     # -- driver ----------------------------------------------------------------
 
     def run(self, spans: list[tuple[int, int]]) -> Relation:
-        if self.config.n_workers > 1 and len(spans) > 1:
-            with ThreadPoolExecutor(
-                max_workers=self.config.n_workers
-            ) as pool:
-                partials = list(pool.map(self._run_span, spans))
-        else:
-            partials = [self._run_span(span) for span in spans]
-        result = self._merge(partials)
-        self._record(partials, result)
+        with self.tracer.span(
+            "morsel.fragment",
+            table=self.table.name,
+            kind=self.fragment.kind,
+            morsels=len(spans),
+            workers=self.config.n_workers,
+        ):
+            if self.config.n_workers > 1 and len(spans) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=self.config.n_workers,
+                    thread_name_prefix="morsel-worker",
+                ) as pool:
+                    partials = list(pool.map(self._run_span, spans))
+            else:
+                partials = [self._run_span(span) for span in spans]
+            with self.tracer.span("morsel.merge",
+                                  kind=self.fragment.kind):
+                result = self._merge(partials)
+            self._record(partials, result)
         return result
 
     # -- per-morsel pipeline -----------------------------------------------------
 
     def _run_span(self, span: tuple[int, int]) -> _Partial:
         lo, hi = span
-        reads = _SpanReads(self.layout, self.table.name, lo, hi)
-        rel, steps_done = self._base_relation(lo, hi, reads)
-        for step in self.fragment.steps[steps_done:]:
-            rel = _apply_step(step, rel)
-        pages_read, pages_total, page_ids = reads.summary()
-        return _Partial(self._partial(rel), pages_read, pages_total,
-                        page_ids)
+        # Each worker thread records into its own ring buffer, so this
+        # per-morsel span costs no synchronisation.
+        with self.tracer.span("morsel.span", lo=lo, hi=hi) as tspan:
+            reads = _SpanReads(self.layout, self.table.name, lo, hi)
+            rel, steps_done = self._base_relation(lo, hi, reads)
+            for step in self.fragment.steps[steps_done:]:
+                rel = _apply_step(step, rel)
+            pages_read, pages_total, page_ids = reads.summary()
+            tspan.set(rows_out=rel.nrows,
+                      pages_read=sum(pages_read.values()))
+            return _Partial(self._partial(rel), pages_read, pages_total,
+                            page_ids)
 
     def _base_relation(
         self, lo: int, hi: int, reads: _SpanReads
@@ -521,6 +538,20 @@ class MorselExecutor:
             )
             bytes_read += pages_read[name] * PAGE_BYTES
         self.trace.record_channel_pages(meter.pages_read)
+        n_read = sum(pages_read.values())
+        n_total = sum(pages_total.values())
+        METRICS.counter(
+            "flash.pages_read", "column pages actually fetched"
+        ).inc(n_read)
+        METRICS.counter(
+            "flash.pages_skipped", "fully-masked pages never fetched"
+        ).inc(n_total - n_read)
+        METRICS.counter(
+            "morsel.rows_streamed", "base rows fed through morsels"
+        ).inc(self.table.nrows)
+        METRICS.histogram(
+            "morsel.rows_out", "rows surviving one fragment"
+        ).observe(result.nrows)
         self.trace.record_op(
             OpTrace(
                 "scan",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.obs import METRICS
+
 
 class LruPageCache:
     """Counts hits/misses of page accesses under an LRU policy."""
@@ -47,6 +49,22 @@ class LruPageCache:
         """
         if n_pages <= 0:
             return 0
+        hits_before, misses_before = self.hits, self.misses
+        try:
+            return self._access_run(first_page, n_pages)
+        finally:
+            # Publish batched deltas so hot runs cost one update each.
+            METRICS.counter(
+                "pagecache.hits", "LRU page-cache hits"
+            ).inc(self.hits - hits_before)
+            METRICS.counter(
+                "pagecache.misses", "LRU page-cache misses"
+            ).inc(self.misses - misses_before)
+            METRICS.gauge(
+                "pagecache.hit_ratio", "hits / accesses, lifetime"
+            ).set(self.hit_rate)
+
+    def _access_run(self, first_page: int, n_pages: int) -> int:
         run = range(first_page, first_page + n_pages)
         present = self._pages.keys() & run  # batch membership test
 

@@ -1,0 +1,70 @@
+"""Runtime observability: spans, metrics, and their exporters.
+
+What :mod:`repro.perf.trace` is to the paper's *modeled* data flow,
+this package is to the Python runtime's *actual* behaviour:
+
+``spans``
+    :class:`Tracer` — monotonic wall-clock spans with thread-aware
+    nesting and per-thread ring buffers, so morsel workers record
+    without lock contention.  Executors take a ``tracer=`` argument
+    and default to the free :data:`NULL_TRACER`.
+``metrics``
+    :class:`MetricsRegistry` — process-wide counters / gauges /
+    histograms (pages read and skipped, cache hits, suspensions,
+    rows per stage) updated at batch granularity from the hot paths.
+``export``
+    Chrome trace-event JSON (``chrome://tracing`` / Perfetto, one lane
+    per worker thread and device stage), Prometheus text exposition,
+    and a human flame summary; plus the schema validator the CI smoke
+    job runs against every exported trace.
+
+Layering: this package imports nothing from the rest of ``repro`` (the
+executors, storage and analysis import *us*), so it can be threaded
+through every layer without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace,
+    flame_summary,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_global_tracer,
+    traced,
+)
+
+__all__ = [
+    "METRICS",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "flame_summary",
+    "get_tracer",
+    "prometheus_text",
+    "set_global_tracer",
+    "traced",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,280 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, flame summary.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto "JSON Array
+with metadata" flavour: a ``traceEvents`` list of complete (``"X"``),
+instant (``"i"``) and metadata (``"M"``) events.  Every lane — one per
+recording thread plus the synthetic device-stage lanes — becomes a
+``tid`` row named by a ``thread_name`` metadata event, so morsel
+workers and device stages render as separate swimlanes.
+
+:func:`validate_chrome_trace` is the schema check the CI smoke job and
+the CLI run against every export; it returns a list of problems
+(empty = valid) instead of raising so callers can report all of them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import INSTANT, NullTracer, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "flame_summary",
+    "prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+PID = 1  # one process; lanes are tids
+
+
+def _lane_of(thread_name: str, record) -> str:
+    return record[1] if record[1] is not None else thread_name
+
+
+def chrome_trace(
+    tracer: Tracer | NullTracer,
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Render every recorded span as a trace-event JSON object."""
+    records = list(tracer.records())
+
+    # Stable lane numbering: "MainThread" (or "main") first, then the
+    # rest alphabetically, so the root query lane tops the viewer.
+    lane_names = sorted(
+        {_lane_of(t, r) for t, r in records},
+        key=lambda n: (n not in ("MainThread", "main"), n),
+    )
+    lane_ids = {name: i for i, name in enumerate(lane_names)}
+
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for name, tid in lane_ids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    epoch = tracer.epoch_ns
+    for thread_name, rec in records:
+        name, _, t0_ns, dur_ns, depth, _self_ns, args = rec
+        tid = lane_ids[_lane_of(thread_name, rec)]
+        ts_us = (t0_ns - epoch) / 1000.0
+        if dur_ns == INSTANT:
+            event: dict[str, Any] = {
+                "name": name,
+                "cat": "repro",
+                "ph": "i",
+                "ts": ts_us,
+                "pid": PID,
+                "tid": tid,
+                "s": "t",  # thread-scoped instant
+            }
+        else:
+            event = {
+                "name": name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_ns / 1000.0,
+                "pid": PID,
+                "tid": tid,
+            }
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        events.append(event)
+
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "lanes": lane_names,
+            "dropped_spans": tracer.n_dropped,
+        },
+    }
+    if metadata:
+        doc["otherData"].update(
+            {k: _jsonable(v) for k, v in metadata.items()}
+        )
+    return doc
+
+
+def write_chrome_trace(
+    tracer: Tracer | NullTracer,
+    path: str,
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    doc = chrome_trace(tracer, metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+# -- schema validation ---------------------------------------------------------
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Check a parsed export against the trace-event schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    document loads cleanly in ``chrome://tracing``.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            problems.append(f"event {i}: unsupported phase {phase!r}")
+            continue
+        for key in _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                problems.append(f"event {i} (ph={phase}): missing {key!r}")
+        for key in ("ts", "dur"):
+            if key in event and not isinstance(event[key], (int, float)):
+                problems.append(f"event {i}: {key} must be numeric")
+        if "dur" in event and isinstance(event["dur"], (int, float)) \
+                and event["dur"] < 0:
+            problems.append(f"event {i}: negative dur")
+        if "name" in event and not isinstance(event["name"], str):
+            problems.append(f"event {i}: name must be a string")
+    return problems
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_:" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Text exposition format 0.0.4 of every registered instrument."""
+    lines: list[str] = []
+    for m in registry.instruments():
+        if isinstance(m, Counter):
+            name = _prom_name(m.name) + "_total"
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {m.value}")
+        elif isinstance(m, Gauge):
+            name = _prom_name(m.name)
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(m.value)}")
+        elif isinstance(m, Histogram):
+            name = _prom_name(m.name)
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(m.bounds, m.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {m.count}')
+            lines.append(f"{name}_sum {_fmt(m.sum)}")
+            lines.append(f"{name}_count {m.count}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# -- flame summary -------------------------------------------------------------
+
+
+def flame_summary(tracer: Tracer | NullTracer, top: int = 0) -> str:
+    """Per-span-name wall-clock attribution, hottest self-time first.
+
+    ``self`` excludes time spent in child spans (recorded at span exit
+    from the per-thread stack), so the column sums to the traced
+    wall-clock without double counting; ``total`` includes children.
+    """
+    stats: dict[str, list[float]] = {}  # name -> [count, total, self, max]
+    for _, rec in tracer.records():
+        name, _, _, dur_ns, _, self_ns, _ = rec
+        if dur_ns == INSTANT:
+            continue
+        entry = stats.setdefault(name, [0, 0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += dur_ns
+        entry[2] += self_ns
+        entry[3] = max(entry[3], dur_ns)
+    if not stats:
+        return "(no spans recorded)"
+
+    wall = sum(entry[2] for entry in stats.values())
+    rows = sorted(stats.items(), key=lambda kv: -kv[1][2])
+    if top:
+        rows = rows[:top]
+
+    width = max(len(name) for name, _ in rows)
+    lines = [
+        f"{'span':<{width}} {'count':>7} {'self':>10} {'total':>10} "
+        f"{'max':>10} {'self%':>6}"
+    ]
+    for name, (count, total, self_ns, max_ns) in rows:
+        share = self_ns / wall if wall else 0.0
+        lines.append(
+            f"{name:<{width}} {count:>7} {_ms(self_ns):>10} "
+            f"{_ms(total):>10} {_ms(max_ns):>10} {share:>6.1%}"
+        )
+    lines.append(f"{'(traced wall-clock)':<{width}} {'':>7} "
+                 f"{_ms(wall):>10}")
+    return "\n".join(lines)
+
+
+def _ms(ns: float) -> str:
+    return f"{ns / 1e6:.2f}ms"

@@ -1,0 +1,172 @@
+"""Process-wide counters, gauges and histograms.
+
+Instruments are created once (module import or first use) and cached by
+name in a registry, so hot loops pay one attribute load and one guarded
+add per update — there is no name lookup on the update path.  Updates
+are batch-granular by design: the executors increment per morsel, per
+column read or per operator, never per row, which keeps the cost well
+under the observability overhead budget (see
+``benchmarks/test_obs_overhead.py``).
+
+A small lock per instrument keeps concurrent morsel-worker updates
+exact (``value += n`` is a read-modify-write under the GIL); at batch
+granularity the lock is noise.
+
+The default process-wide registry is :data:`METRICS`.  ``reset()``
+zeroes values but keeps the instrument objects, so call sites that
+cached them keep recording — important because the CLI resets between
+queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+]
+
+# Decade buckets cover everything we observe (rows, bytes, rows/s).
+DEFAULT_BUCKETS = tuple(10.0 ** e for e in range(13))
+
+
+class Counter:
+    """Monotonically increasing count (pages read, suspensions...)."""
+
+    __slots__ = ("name", "help", "value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0
+
+
+class Gauge:
+    """A point-in-time level (cache hit ratio, DRAM residency...)."""
+
+    __slots__ = ("name", "help", "value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class Histogram:
+    """Cumulative-bucket distribution (rows per morsel, rows/s...)."""
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "sum",
+                 "count", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.bounds = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf last
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self.sum = 0.0
+            self.count = 0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store; one per process is the norm."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        with self._lock:
+            return sorted(self._instruments.values(),
+                          key=lambda m: m.name)
+
+    def snapshot(self) -> dict[str, float | dict]:
+        """Plain-value view for assertions and JSON reports."""
+        out: dict[str, float | dict] = {}
+        for m in self.instruments():
+            if isinstance(m, Histogram):
+                out[m.name] = {
+                    "count": m.count, "sum": m.sum, "mean": m.mean
+                }
+            else:
+                out[m.name] = m.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping cached references valid."""
+        for m in self.instruments():
+            m.reset()
+
+
+METRICS = MetricsRegistry()

@@ -1,0 +1,273 @@
+"""Wall-clock spans with per-thread ring buffers.
+
+A :class:`Tracer` records what the Python runtime actually *did* —
+monotonic wall-clock intervals attributed to named stages — next to the
+modeled data flow in :class:`~repro.perf.trace.QueryTrace`.  Design
+constraints, in order:
+
+1. **Disabled must be free.**  Executors default to the shared
+   :data:`NULL_TRACER`, whose ``span()`` returns one preallocated no-op
+   context manager; the only cost at an instrumentation point is an
+   attribute load and a call.  The overhead gate in
+   ``benchmarks/test_obs_overhead.py`` keeps this honest.
+2. **Workers must not contend.**  Each thread records into its own
+   ring buffer (``threading.local``); the tracer's lock is taken once
+   per thread lifetime (registration), never per span, so morsel
+   workers never serialise on the tracer.
+3. **Nesting must survive export.**  Spans carry their stack depth and
+   self-time (duration minus direct children), computed at record time
+   from the per-thread active stack, so the flame summary needs no
+   interval reconstruction.
+
+Records are plain tuples, ``(name, lane, t0_ns, dur_ns, depth,
+self_ns, args)``; ``dur_ns == -1`` marks an instant event (a point in
+time, e.g. a device suspension).  ``lane`` defaults to the recording
+thread's name and becomes the Chrome-trace ``tid`` row — passing
+``lane="device.row_selector"`` routes a span to a synthetic device
+lane regardless of the host thread that modeled it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_global_tracer",
+    "traced",
+]
+
+# (name, lane-or-None, t0_ns, dur_ns, depth, self_ns, args-or-None)
+SpanRecord = tuple  # noqa: UP006 - alias for documentation purposes
+
+INSTANT = -1  # dur_ns sentinel for point events
+DEFAULT_RING_CAPACITY = 65_536
+
+
+class _ThreadLog:
+    """One thread's span ring buffer plus its active-span stack."""
+
+    __slots__ = ("thread_name", "capacity", "records", "cursor",
+                 "dropped", "stack")
+
+    def __init__(self, thread_name: str, capacity: int):
+        self.thread_name = thread_name
+        self.capacity = capacity
+        self.records: list[SpanRecord] = []
+        self.cursor = 0       # overwrite position once the ring is full
+        self.dropped = 0      # spans evicted by wrap-around
+        self.stack: list[Span] = []
+
+    def append(self, record: SpanRecord) -> None:
+        if len(self.records) < self.capacity:
+            self.records.append(record)
+            return
+        self.records[self.cursor] = record
+        self.cursor = (self.cursor + 1) % self.capacity
+        self.dropped += 1
+
+    def in_order(self) -> list[SpanRecord]:
+        """Records oldest-first (un-rotating the ring)."""
+        return self.records[self.cursor:] + self.records[:self.cursor]
+
+
+class Span:
+    """One timed interval; use as a context manager."""
+
+    __slots__ = ("_tracer", "name", "lane", "args", "_log", "_t0",
+                 "child_ns")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        lane: str | None,
+        args: dict[str, Any] | None,
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.lane = lane
+        self.args = args
+        self.child_ns = 0
+
+    def set(self, **args: Any) -> "Span":
+        """Attach attributes after entry (e.g. an output row count)."""
+        if self.args is None:
+            self.args = args
+        else:
+            self.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        log = self._tracer._thread_log()
+        self._log = log
+        log.stack.append(self)
+        self._t0 = time.monotonic_ns()  # last: exclude setup from dur
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        t1 = time.monotonic_ns()
+        log = self._log
+        log.stack.pop()
+        dur = t1 - self._t0
+        if log.stack:
+            log.stack[-1].child_ns += dur
+        log.append(
+            (self.name, self.lane, self._t0, dur, len(log.stack),
+             dur - self.child_ns, self.args)
+        )
+
+
+class Tracer:
+    """Collects spans and instants across every thread of the process."""
+
+    enabled = True
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY):
+        self.ring_capacity = ring_capacity
+        self.epoch_ns = time.monotonic_ns()
+        self._local = threading.local()
+        self._logs: list[_ThreadLog] = []
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, lane: str | None = None,
+             **args: Any) -> Span:
+        return Span(self, name, lane, args or None)
+
+    def instant(self, name: str, lane: str | None = None,
+                **args: Any) -> None:
+        """Record a point event (suspension, rollback, cache clear...)."""
+        log = self._thread_log()
+        log.append(
+            (name, lane, time.monotonic_ns(), INSTANT, len(log.stack),
+             0, args or None)
+        )
+
+    def _thread_log(self) -> _ThreadLog:
+        log = getattr(self._local, "log", None)
+        if log is None:
+            log = _ThreadLog(
+                threading.current_thread().name, self.ring_capacity
+            )
+            self._local.log = log
+            with self._lock:
+                self._logs.append(log)
+        return log
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> Iterator[tuple[str, SpanRecord]]:
+        """Yield ``(thread_name, record)`` across all threads, in each
+        thread's recording order."""
+        with self._lock:
+            logs = list(self._logs)
+        for log in logs:
+            for record in log.in_order():
+                yield log.thread_name, record
+
+    @property
+    def n_records(self) -> int:
+        with self._lock:
+            return sum(len(log.records) for log in self._logs)
+
+    @property
+    def n_dropped(self) -> int:
+        with self._lock:
+            return sum(log.dropped for log in self._logs)
+
+    def total_ns(self, name: str) -> int:
+        """Summed duration of every span with ``name`` (instants = 0)."""
+        return sum(
+            rec[3]
+            for _, rec in self.records()
+            if rec[0] == name and rec[3] != INSTANT
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span behind a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every call is a constant-time no-op."""
+
+    enabled = False
+    epoch_ns = 0
+
+    def span(self, name: str, lane: str | None = None,
+             **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, lane: str | None = None,
+                **args: Any) -> None:
+        pass
+
+    def records(self) -> Iterator[tuple[str, SpanRecord]]:
+        return iter(())
+
+    n_records = 0
+    n_dropped = 0
+
+    def total_ns(self, name: str) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+# The ambient tracer: lets module-level code (storage I/O, the analysis
+# gate, the ``@traced`` decorator) participate without every call site
+# threading a tracer argument through.  ``python -m repro profile``
+# installs its tracer here for the duration of the run.
+_global_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def set_global_tracer(tracer: Tracer | None) -> None:
+    global _global_tracer
+    _global_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    return _global_tracer
+
+
+def traced(name: str, lane: str | None = None) -> Callable:
+    """Decorator form: time every call against the *global* tracer."""
+
+    def wrap(fn: Callable) -> Callable:
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            tracer = _global_tracer
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(name, lane=lane):
+                return fn(*args, **kwargs)
+
+        inner.__name__ = fn.__name__
+        inner.__doc__ = fn.__doc__
+        inner.__qualname__ = fn.__qualname__
+        inner.__wrapped__ = fn
+        return inner
+
+    return wrap

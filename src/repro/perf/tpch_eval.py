@@ -56,13 +56,21 @@ def collect_traces(
     catalog,
     queries=ALL_QUERIES,
     target_sf: float = 1000.0,
+    tracer=None,
 ) -> TpchEvaluation:
     """Run every query three ways and collect the traces.
 
     The device configs carry ``scale_ratio = target_sf / data SF`` so
     DRAM-capacity and heap-cache decisions reflect the simulated scale,
     exactly like the paper's trace-based simulator (Sec. VII).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) threads runtime span
+    recording through every engine and simulator run, one
+    ``evaluate.<query>`` span per query.
     """
+    from repro.obs import NULL_TRACER
+
+    tracer = tracer if tracer is not None else NULL_TRACER
     ratio = target_sf / catalog.scale_factor
     cfg40 = DeviceConfig(dram_bytes=40 * GB, scale_ratio=ratio)
     cfg16 = DeviceConfig(dram_bytes=16 * GB, scale_ratio=ratio)
@@ -71,18 +79,23 @@ def collect_traces(
     for n in queries:
         name = f"q{n:02d}"
 
-        engine = Engine(catalog)
-        engine.trace.query = name
-        engine.trace.scale_factor = catalog.scale_factor
-        engine.execute_relation(query(n))
-        out.host_traces[name] = engine.trace
+        with tracer.span(f"evaluate.{name}"):
+            engine = Engine(catalog, tracer=tracer)
+            engine.trace.query = name
+            engine.trace.scale_factor = catalog.scale_factor
+            engine.execute_relation(query(n))
+            out.host_traces[name] = engine.trace
 
-        sim40 = AquomanSimulator(catalog, cfg40).run(query(n), query=name)
-        out.aquoman_traces[name] = sim40.trace
-        out.simulations[name] = sim40
+            sim40 = AquomanSimulator(catalog, cfg40, tracer=tracer).run(
+                query(n), query=name
+            )
+            out.aquoman_traces[name] = sim40.trace
+            out.simulations[name] = sim40
 
-        sim16 = AquomanSimulator(catalog, cfg16).run(query(n), query=name)
-        out.aquoman16_traces[name] = sim16.trace
+            sim16 = AquomanSimulator(catalog, cfg16, tracer=tracer).run(
+                query(n), query=name
+            )
+            out.aquoman16_traces[name] = sim16.trace
     return out
 
 

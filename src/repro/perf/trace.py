@@ -111,14 +111,18 @@ class QueryTrace:
         self.record_flash(table, column, pages_read * page_bytes)
 
     def record_channel_pages(self, pages_per_channel) -> None:
-        """Accumulate a ChannelMeter's per-channel page counts."""
+        """Accumulate a ChannelMeter's per-channel page counts.
+
+        Meters of different widths (reconfigured flash, merged traces)
+        pad to the longer length — a bare ``zip`` would silently drop
+        the excess channels' pages.
+        """
         counts = [int(c) for c in pages_per_channel]
-        if not self.flash_channel_pages:
-            self.flash_channel_pages = counts
-            return
-        self.flash_channel_pages = [
-            a + b for a, b in zip(self.flash_channel_pages, counts)
-        ]
+        acc = self.flash_channel_pages
+        if len(acc) < len(counts):
+            acc.extend([0] * (len(counts) - len(acc)))
+        for i, c in enumerate(counts):
+            acc[i] += c
 
     @property
     def total_pages_skipped(self) -> int:

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import METRICS, get_tracer
 from repro.storage.catalog import Catalog, ForeignKey
 from repro.storage.column import Column
 from repro.storage.stringheap import StringHeap
@@ -76,6 +77,8 @@ def save_catalog(catalog: Catalog, directory: str | Path) -> Path:
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
 
+    tracer = get_tracer()
+    bytes_written = 0
     manifest: dict = {
         "scale_factor": catalog.scale_factor,
         "seed": catalog.seed,
@@ -93,24 +96,29 @@ def save_catalog(catalog: Catalog, directory: str | Path) -> Path:
         table_dir = root / table_name
         table_dir.mkdir(exist_ok=True)
         columns_meta = []
-        for column in table.columns:
-            (table_dir / f"{column.name}.bin").write_bytes(
-                np.ascontiguousarray(column.values).tobytes()
-            )
-            if column.heap is not None:
-                payload = "\x00".join(column.heap.strings())
-                (table_dir / f"{column.name}.heap").write_bytes(
-                    payload.encode()
+        with tracer.span("io.save_table", table=table_name):
+            for column in table.columns:
+                raw = np.ascontiguousarray(column.values).tobytes()
+                (table_dir / f"{column.name}.bin").write_bytes(raw)
+                bytes_written += len(raw)
+                if column.heap is not None:
+                    payload = "\x00".join(column.heap.strings())
+                    (table_dir / f"{column.name}.heap").write_bytes(
+                        payload.encode()
+                    )
+                    bytes_written += len(payload)
+                columns_meta.append(
+                    {
+                        "name": column.name,
+                        "type": column.ctype.kind.value,
+                        "nrows": column.nrows,
+                    }
                 )
-            columns_meta.append(
-                {
-                    "name": column.name,
-                    "type": column.ctype.kind.value,
-                    "nrows": column.nrows,
-                }
-            )
         manifest["tables"][table_name] = columns_meta
 
+    METRICS.counter(
+        "io.bytes_written", "column-file bytes persisted"
+    ).inc(bytes_written)
     manifest_path = root / MANIFEST_NAME
     manifest_path.write_text(json.dumps(manifest, indent=2))
     return manifest_path
@@ -134,6 +142,8 @@ def load_catalog(directory: str | Path, *, mmap: bool = True) -> Catalog:
     root = Path(directory)
     manifest = json.loads((root / MANIFEST_NAME).read_text())
 
+    tracer = get_tracer()
+    bytes_mapped = 0
     catalog = Catalog()
     catalog.scale_factor = manifest["scale_factor"]
     catalog.seed = manifest["seed"]
@@ -142,26 +152,34 @@ def load_catalog(directory: str | Path, *, mmap: bool = True) -> Catalog:
     for table_name, columns_meta in manifest["tables"].items():
         table_dir = root / table_name
         columns = []
-        for meta in columns_meta:
-            ctype = _TYPES_BY_NAME[meta["type"]]
-            raw = _load_column_values(
-                table_dir / f"{meta['name']}.bin", ctype.dtype, mmap
-            )
-            if len(raw) != meta["nrows"]:
-                raise ValueError(
-                    f"{table_name}.{meta['name']}: file holds "
-                    f"{len(raw)} values, manifest says {meta['nrows']}"
+        with tracer.span("io.load_table", table=table_name, mmap=mmap):
+            for meta in columns_meta:
+                ctype = _TYPES_BY_NAME[meta["type"]]
+                raw = _load_column_values(
+                    table_dir / f"{meta['name']}.bin", ctype.dtype, mmap
                 )
-            heap = None
-            if ctype.is_string:
-                heap = StringHeap()
-                payload = (table_dir / f"{meta['name']}.heap").read_bytes()
-                if payload:
-                    for value in payload.decode().split("\x00"):
-                        heap.encode(value)
-            columns.append(Column(meta["name"], ctype, raw, heap))
+                if len(raw) != meta["nrows"]:
+                    raise ValueError(
+                        f"{table_name}.{meta['name']}: file holds "
+                        f"{len(raw)} values, manifest says {meta['nrows']}"
+                    )
+                bytes_mapped += raw.nbytes
+                heap = None
+                if ctype.is_string:
+                    heap = StringHeap()
+                    payload = (
+                        table_dir / f"{meta['name']}.heap"
+                    ).read_bytes()
+                    if payload:
+                        for value in payload.decode().split("\x00"):
+                            heap.encode(value)
+                columns.append(Column(meta["name"], ctype, raw, heap))
         primary_key = manifest["primary_keys"].get(table_name)
         catalog.add_table(Table(table_name, columns), primary_key)
+
+    METRICS.counter(
+        "io.bytes_loaded", "column-file bytes loaded or mapped"
+    ).inc(bytes_mapped)
 
     for table, column, ref_table, ref_column in manifest["foreign_keys"]:
         catalog.foreign_keys.append(

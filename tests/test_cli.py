@@ -1,8 +1,11 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.obs import validate_chrome_trace
 
 
 class TestCli:
@@ -41,3 +44,44 @@ class TestCli:
         out = capsys.readouterr().out
         assert "mean CPU saving" in out
         assert "q22" in out
+
+    def test_profile_exports_valid_trace(self, capsys, tmp_path):
+        trace = tmp_path / "q06.trace.json"
+        metrics = tmp_path / "q06.prom"
+        code = main(
+            [
+                "profile", "6", "--sf", "0.002",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span coverage" in out
+        assert "self%" in out  # the flame summary printed
+
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        lanes = doc["otherData"]["lanes"]
+        assert "device.row_selector" in lanes
+        assert any(lane.startswith("morsel-worker") for lane in lanes)
+        assert doc["otherData"]["coverage"] > 0.95
+
+        prom = metrics.read_text()
+        assert "# TYPE repro_" in prom
+
+    def test_query_with_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "q01.trace.json"
+        code = main(
+            [
+                "query", "1", "--sf", "0.002", "--no-device",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert "engine.query" in names

@@ -1,0 +1,323 @@
+"""The observability layer: spans, metrics, exporters."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.engine import Engine
+from repro.engine.morsel import MorselConfig
+from repro.obs import (
+    METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    flame_summary,
+    get_tracer,
+    prometheus_text,
+    set_global_tracer,
+    traced,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import INSTANT
+
+
+def spans_named(tracer, name):
+    return [rec for _, rec in tracer.records() if rec[0] == name]
+
+
+class TestSpans:
+    def test_nesting_depth_and_self_time(self):
+        t = Tracer()
+        with t.span("outer"):
+            time.sleep(0.002)
+            with t.span("inner"):
+                time.sleep(0.002)
+        (outer,) = spans_named(t, "outer")
+        (inner,) = spans_named(t, "inner")
+        assert outer[4] == 0 and inner[4] == 1  # depth
+        assert outer[3] >= inner[3]             # dur includes child
+        # outer self-time excludes the inner span entirely
+        assert outer[5] == outer[3] - inner[3]
+
+    def test_span_args_and_set(self):
+        t = Tracer()
+        with t.span("op", rows_in=10) as span:
+            span.set(rows_out=3)
+        (rec,) = spans_named(t, "op")
+        assert rec[6] == {"rows_in": 10, "rows_out": 3}
+
+    def test_instant_event(self):
+        t = Tracer()
+        t.instant("suspend", lane="device", reason="dram")
+        (rec,) = spans_named(t, "suspend")
+        assert rec[3] == INSTANT
+        assert rec[1] == "device"
+
+    def test_threads_record_without_shared_state(self):
+        t = Tracer()
+
+        def work(i):
+            for _ in range(50):
+                with t.span(f"w{i}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,), name=f"worker-{i}")
+            for i in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert t.n_records == 200
+        for i in range(4):
+            assert len(spans_named(t, f"w{i}")) == 50
+
+    def test_ring_buffer_wraps_and_counts_drops(self):
+        t = Tracer(ring_capacity=8)
+        for i in range(20):
+            with t.span(f"s{i}"):
+                pass
+        assert t.n_records == 8
+        assert t.n_dropped == 12
+        kept = [rec[0] for _, rec in t.records()]
+        assert kept == [f"s{i}" for i in range(12, 20)]  # oldest first
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x", a=1) as span:
+            span.set(b=2)
+        NULL_TRACER.instant("y")
+        assert NULL_TRACER.n_records == 0
+        assert not NULL_TRACER.enabled
+        assert list(NULL_TRACER.records()) == []
+
+    def test_traced_decorator_uses_global_tracer(self):
+        t = Tracer()
+
+        @traced("decorated.fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2           # global tracer disabled: no record
+        set_global_tracer(t)
+        try:
+            assert get_tracer() is t
+            assert fn(2) == 3
+        finally:
+            set_global_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        assert len(spans_named(t, "decorated.fn")) == 1
+
+    def test_total_ns(self):
+        t = Tracer()
+        with t.span("a"):
+            time.sleep(0.001)
+        with t.span("a"):
+            time.sleep(0.001)
+        assert t.total_ns("a") >= 2_000_000
+        assert t.total_ns("missing") == 0
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pages", "help text")
+        c.inc()
+        c.inc(4)
+        g = reg.gauge("ratio")
+        g.set(0.5)
+        g.add(0.25)
+        h = reg.histogram("rows")
+        h.observe(5)
+        h.observe(500)
+        snap = reg.snapshot()
+        assert snap["pages"] == 5
+        assert snap["ratio"] == 0.75
+        assert snap["rows"] == {"count": 2, "sum": 505.0, "mean": 252.5}
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_reset_keeps_cached_references_recording(self):
+        reg = MetricsRegistry()
+        c = reg.counter("kept")
+        c.inc(7)
+        reg.reset()
+        assert reg.snapshot()["kept"] == 0
+        c.inc(2)  # the cached reference must still be live
+        assert reg.snapshot()["kept"] == 2
+
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+        c = reg.counter("racy")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert c.value == 4000
+
+
+class TestChromeExport:
+    def test_valid_schema_and_lanes(self, tmp_path):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("staged", lane="device.row_selector"):
+                pass
+        t.instant("mark")
+        path = tmp_path / "trace.json"
+        write_chrome_trace(t, str(path), metadata={"coverage": 0.99})
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert "device.row_selector" in doc["otherData"]["lanes"]
+        assert doc["otherData"]["coverage"] == 0.99
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+
+    def test_lane_override_routes_tid(self):
+        t = Tracer()
+        with t.span("host"):
+            pass
+        with t.span("dev", lane="device"):
+            pass
+        doc = chrome_trace(t)
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        events = {
+            e["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert events["dev"] == names["device"]
+        assert events["host"] == names["MainThread"]
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        bad = {"traceEvents": [{"ph": "X", "name": "x", "ts": 0}]}
+        assert any("missing" in p for p in validate_chrome_trace(bad))
+        negative = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "ts": 0, "dur": -5,
+                 "pid": 1, "tid": 0}
+            ]
+        }
+        assert any("negative" in p for p in validate_chrome_trace(negative))
+
+
+class TestPrometheusExport:
+    def test_text_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("flash.pages_read", "pages").inc(3)
+        reg.gauge("cache.hit_ratio").set(0.25)
+        reg.histogram("rows", buckets=(1.0, 10.0)).observe(5)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_flash_pages_read_total counter" in text
+        assert "repro_flash_pages_read_total 3" in text
+        assert "repro_cache_hit_ratio 0.25" in text
+        assert 'repro_rows_bucket{le="10"} 1' in text
+        assert 'repro_rows_bucket{le="+Inf"} 1' in text
+        assert "repro_rows_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestFlameSummary:
+    def test_summary_orders_by_self_time(self):
+        t = Tracer()
+        with t.span("cheap"):
+            with t.span("hot"):
+                time.sleep(0.005)
+        text = flame_summary(t)
+        assert text.index("hot") < text.index("cheap")
+        assert "self%" in text
+
+    def test_empty_tracer(self):
+        assert "no spans" in flame_summary(Tracer())
+
+
+class TestExecutorIntegration:
+    def test_engine_records_operator_spans(self, tiny_db):
+        t = Tracer()
+        engine = Engine(tiny_db, tracer=t)
+        engine.execute_relation(tpch.query(6))
+        names = {rec[0] for _, rec in t.records()}
+        assert {"engine.query", "engine.scan", "engine.filter",
+                "engine.aggregate"} <= names
+
+    def test_engine_default_is_null_tracer(self, tiny_db):
+        engine = Engine(tiny_db)
+        assert engine.tracer is NULL_TRACER
+
+    def test_morsel_workers_get_own_lanes(self, small_db):
+        # Morsels align to 8192 rows, so the ~60k-row catalog is the
+        # smallest that fans out across workers.
+        t = Tracer()
+        engine = Engine(
+            small_db,
+            tracer=t,
+            morsels=MorselConfig(
+                parallel=True, morsel_rows=8192, n_workers=2
+            ),
+        )
+        engine.execute_relation(tpch.query(6))
+        lanes = {
+            rec[1] if rec[1] else thread
+            for thread, rec in t.records()
+            if rec[0] == "morsel.span"
+        }
+        assert len(lanes) >= 2
+        assert all(lane.startswith("morsel-worker") for lane in lanes)
+
+    def test_simulator_records_device_stage_lanes(self, tiny_db):
+        t = Tracer()
+        sim = AquomanSimulator(
+            tiny_db, DeviceConfig(scale_ratio=1e5), tracer=t
+        )
+        sim.run(tpch.query(6), query="q06")
+        doc = chrome_trace(t)
+        lanes = set(doc["otherData"]["lanes"])
+        assert "device" in lanes
+        assert "device.row_selector" in lanes
+        assert "device.transformer" in lanes
+        assert "device.swissknife" in lanes
+
+    def test_identical_results_with_and_without_tracer(self, tiny_db):
+        plain = Engine(tiny_db).execute(tpch.query(1))
+        traced_run = Engine(tiny_db, tracer=Tracer()).execute(
+            tpch.query(1)
+        )
+        assert plain.equals(traced_run)
+
+    def test_analysis_gate_span(self, tiny_db):
+        t = Tracer()
+        engine = Engine(tiny_db, tracer=t, analyze="warn")
+        engine.execute_relation(tpch.query(6))
+        assert len(spans_named(t, "analysis.gate")) == 1
+
+    def test_metrics_page_accounting(self, small_db):
+        METRICS.reset()
+        engine = Engine(
+            small_db,
+            morsels=MorselConfig(parallel=True, morsel_rows=8192),
+        )
+        engine.execute_relation(tpch.query(6))
+        snap = METRICS.snapshot()
+        assert snap["flash.pages_read"] > 0
+        assert snap["morsel.rows_streamed"] > 0
