@@ -1,0 +1,87 @@
+"""Regenerate the committed perf baselines.
+
+Writes ``benchmarks/baselines.jsonl`` with the *deterministic* subset
+of the benchmark metrics — system-model runtimes and trace byte counts
+(``model.`` prefix) — so ``python -m repro perf diff --strict`` gates
+CI without wall-clock noise.  Wall-clock rates recorded by the live
+benchmarks show up in a diff as NEW and never fail the gate.
+
+Run after any intentional perf/model change::
+
+    PYTHONPATH=src python benchmarks/make_baselines.py
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro import tpch  # noqa: E402
+from repro.engine import Engine, MorselConfig  # noqa: E402
+from repro.obs.baseline import RunRecord, append_records  # noqa: E402
+from repro.perf.tpch_eval import collect_traces, run_records  # noqa: E402
+from repro.sqlir import AggFunc, col, lit, lit_date, scan  # noqa: E402
+
+OUT = Path(__file__).resolve().parent / "baselines.jsonl"
+DATA_SF = 0.01
+TARGET_SF = 1000.0
+
+
+def q6_class_plan():
+    # Mirrors benchmarks/test_morsel_scaling.py exactly.
+    return (
+        scan("lineitem")
+        .filter(
+            (col("l_shipdate") >= lit_date("1994-01-01"))
+            & (col("l_shipdate") < lit_date("1995-01-01"))
+            & (col("l_quantity") < lit(24))
+        )
+        .aggregate(
+            aggs=[
+                ("n", AggFunc.COUNT, None),
+                ("qty", AggFunc.SUM, col("l_quantity")),
+            ]
+        )
+        .plan
+    )
+
+
+def main() -> int:
+    db = tpch.generate(DATA_SF)
+    evaluation = collect_traces(db, target_sf=TARGET_SF)
+    records = run_records(
+        evaluation.report(TARGET_SF),
+        meta={"sf": DATA_SF, "target_sf": TARGET_SF},
+    )
+
+    probe = Engine(
+        db,
+        morsels=MorselConfig(
+            parallel=True, morsel_rows=8192, n_workers=1
+        ),
+    )
+    probe.execute_relation(q6_class_plan())
+    records.append(
+        RunRecord(
+            bench="morsel_scaling",
+            metrics={
+                "model.flash_bytes": float(
+                    probe.trace.total_flash_bytes
+                ),
+            },
+            meta={"sf": DATA_SF},
+        )
+    )
+
+    if OUT.exists():
+        os.remove(OUT)
+    append_records(OUT, records)
+    print(f"wrote {len(records)} baseline records to {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import print_table
+from conftest import print_table, record_run
 from repro.engine import Engine, MorselConfig
 from repro.sqlir import AggFunc, col, lit, lit_date, scan
 
@@ -117,6 +117,26 @@ def test_morsel_scaling(benchmark, db):
             indent=2,
         )
         + "\n"
+    )
+
+    # One probe run whose trace yields the machine-independent metric
+    # (scan bytes) the committed baseline can gate on; the wall-clock
+    # rates ride along under noise-tolerant prefixes.
+    probe = Engine(
+        db,
+        morsels=MorselConfig(parallel=True, morsel_rows=8192, n_workers=1),
+    )
+    probe.execute_relation(_q6_class_plan())
+    record_run(
+        "morsel_scaling",
+        {
+            "model.flash_bytes": float(probe.trace.total_flash_bytes),
+            "speedup.workers4": workers[4] / workers[1],
+            "rate.rows_per_sec_w1": workers[1],
+            "rate.rows_per_sec_w4": workers[4],
+        },
+        meta={"cpu_count": cpus,
+              "lineitem_rows": db.table("lineitem").nrows},
     )
 
     if cpus >= 4:

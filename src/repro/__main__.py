@@ -11,7 +11,15 @@ Commands:
   PE-program verification and morsel-safety proofs, without executing;
 - ``profile``  — run one query under the runtime tracer and export a
   ``chrome://tracing`` span timeline, Prometheus metrics and a flame
-  summary (``--trace-out`` / ``--metrics-out``).
+  summary (``--trace-out`` / ``--metrics-out``);
+- ``doctor``   — the query doctor: critical-path attribution across
+  host/worker/device lanes, modeled bottleneck verdict with what-if
+  projections, and the explain-analyze table joining the static
+  analyzer's predictions with observed actuals;
+- ``perf diff`` — compare run-record stores (JSONL) with median-of-N,
+  noise-aware thresholds; ``--strict`` exits 1 on regressions, for CI;
+- ``serve``    — stdlib HTTP endpoint exposing ``/metrics``
+  (Prometheus), ``/healthz`` and ``/trace/last``.
 
 ``query`` and ``evaluate`` also accept ``--trace-out``/``--metrics-out``
 to record without the profile-specific defaults.
@@ -171,7 +179,11 @@ def cmd_profile(args) -> int:
         args.trace_out = f"{stem}.trace.json"
 
     METRICS.reset()
-    tracer = Tracer()
+    tracer = (
+        Tracer(ring_capacity=args.ring_capacity)
+        if args.ring_capacity is not None
+        else Tracer()
+    )
     # The ambient tracer lets module-level spans (storage I/O, the
     # analysis passes) land in the same timeline.
     set_global_tracer(tracer)
@@ -203,10 +215,16 @@ def cmd_profile(args) -> int:
     root_ns = tracer.total_ns("profile.query")
     coverage = root_ns / wall_ns if wall_ns else 0.0
     print(flame_summary(tracer, top=args.top))
+    dropped = tracer.n_dropped
+    suffix = " (coverage undercounts: spans were dropped)" if dropped \
+        else ""
     print(
         f"\n{name}: {table.nrows} rows, "
         f"wall {wall_ns / 1e6:.1f} ms, span coverage {coverage:.1%}"
+        f"{suffix}"
     )
+    if dropped:
+        print(f"WARNING: {dropped} spans dropped (raise ring_capacity)")
     _export_obs(tracer, args, query=name, coverage=round(coverage, 4),
                 wall_ms=round(wall_ns / 1e6, 3))
     return 0
@@ -255,6 +273,98 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    """Diagnose one query: critical path, bottleneck, explain-analyze."""
+    from repro.obs.doctor import diagnose, report_json
+
+    db = tpch.generate(args.sf)
+    plan = _plan_of(args, db)
+    name = _query_name(args)
+    report = diagnose(
+        db,
+        plan,
+        name,
+        target_sf=args.target_sf,
+        dram_gb=args.dram_gb,
+        workers=args.workers,
+        morsel_rows=args.morsel_rows,
+        ring_capacity=args.ring_capacity,
+    )
+    print(report_json(report) if args.json else report.format())
+    if args.strict and report.mispredictions:
+        return 1
+    return 0
+
+
+def cmd_perf_diff(args) -> int:
+    """Compare two run-record stores; exit 1 on regressions."""
+    from repro.obs.baseline import compare, load_records
+
+    thresholds = {}
+    for spec in args.threshold or ():
+        metric, sep, value = spec.rpartition("=")
+        if not sep:
+            raise SystemExit(f"--threshold wants METRIC=REL, got {spec!r}")
+        thresholds[metric] = float(value)
+    report = compare(
+        load_records(args.baseline),
+        load_records(args.current),
+        thresholds=thresholds or None,
+    )
+    print(report.format(verbose=args.verbose))
+    return 1 if report.failed(strict=args.strict) else 0
+
+
+def cmd_serve(args) -> int:
+    """Serve /metrics, /healthz and /trace/last over stdlib HTTP."""
+    from repro.obs import chrome_trace
+    from repro.obs.server import ObsServer, set_last_trace
+
+    from repro.engine.morsel import MorselConfig
+
+    db = tpch.generate(args.sf)
+    warm = [int(q) for q in args.warm.split(",") if q.strip()] \
+        if args.warm else []
+
+    METRICS.reset()
+    tracer = Tracer()
+    set_global_tracer(tracer)
+    try:
+        engine = Engine(
+            db,
+            tracer=tracer,
+            morsels=MorselConfig(parallel=True, morsel_rows=8192),
+        )
+        for number in warm:
+            plan = tpch.query(number)
+            t0 = time.monotonic_ns()
+            with tracer.span("serve.warm", query=f"q{number:02d}"):
+                engine.execute_relation(plan)
+            METRICS.counter(
+                "serve.warm_queries", "queries run before serving"
+            ).inc()
+            METRICS.histogram(
+                "serve.warm_ms", "warm query wall time (ms)"
+            ).observe((time.monotonic_ns() - t0) / 1e6)
+        if warm:
+            set_last_trace(chrome_trace(
+                tracer, metadata={"warm_queries": warm, "sf": args.sf}
+            ))
+
+        server = ObsServer(host=args.host, port=args.port)
+        print(f"serving on {server.url}  "
+              "(/metrics /healthz /trace/last; Ctrl-C stops)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    finally:
+        set_global_tracer(None)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -300,6 +410,11 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=15,
         help="flame-summary rows to print (default 15)",
     )
+    p_profile.add_argument(
+        "--ring-capacity", type=int, default=None,
+        help="per-thread span ring size (default 65536); the run "
+        "warns when spans were dropped",
+    )
     _add_common(p_profile)
     _add_obs(p_profile)
     p_profile.set_defaults(func=cmd_profile)
@@ -332,6 +447,73 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="diagnose one query: critical path, bottleneck, "
+        "explain-analyze",
+    )
+    p_doctor.add_argument("number", type=int, nargs="?",
+                          help="TPC-H query number (1-22)")
+    p_doctor.add_argument("--sql", help="a SQL string instead")
+    p_doctor.add_argument("--dram-gb", type=float, default=40.0)
+    p_doctor.add_argument(
+        "--workers", type=int, default=4,
+        help="morsel worker threads (default 4)",
+    )
+    p_doctor.add_argument(
+        "--morsel-rows", type=int, default=8192,
+        help="rows per morsel; small default so tiny SFs still "
+        "stream (default 8192)",
+    )
+    p_doctor.add_argument(
+        "--ring-capacity", type=int, default=None,
+        help="per-thread span ring size (default 65536)",
+    )
+    p_doctor.add_argument("--json", action="store_true",
+                          help="machine-readable report")
+    p_doctor.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any estimate-vs-actual row mispredicts",
+    )
+    _add_common(p_doctor)
+    p_doctor.set_defaults(func=cmd_doctor)
+
+    p_perf = sub.add_parser("perf", help="performance baselines")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_diff = perf_sub.add_parser(
+        "diff", help="compare run-record stores (JSONL)"
+    )
+    p_diff.add_argument("baseline", help="baseline run-record JSONL")
+    p_diff.add_argument("current", help="current run-record JSONL")
+    p_diff.add_argument(
+        "--strict", action="store_true",
+        help="also fail when a baseline metric went missing",
+    )
+    p_diff.add_argument(
+        "--threshold", action="append", metavar="METRIC=REL",
+        help="override a relative threshold, e.g. wall.=0.4 "
+        "(prefix match, repeatable)",
+    )
+    p_diff.add_argument("--verbose", action="store_true",
+                        help="print every metric, not just changes")
+    p_diff.set_defaults(func=cmd_perf_diff)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP /metrics, /healthz and /trace/last"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9463)
+    p_serve.add_argument(
+        "--warm", default="1,6", metavar="Q,Q,...",
+        help="TPC-H queries to run before serving, populating metrics "
+        "and /trace/last (default 1,6; empty string skips)",
+    )
+    p_serve.add_argument(
+        "--sf", type=float, default=0.01,
+        help="functional TPC-H scale factor (default 0.01)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -88,6 +88,7 @@ __all__ = [
     "analyze_plan",
     "diag",
     "fragment_verdicts",
+    "node_schemas",
     "scan_schema",
     "streamable_chain",
     "subtree_reduces",
@@ -98,6 +99,36 @@ __all__ = [
 
 ENGINE_PASSES = ("types", "morsel")
 ALL_PASSES = ("types", "suspend", "pe", "morsel")
+
+
+def node_schemas(plan: Plan, catalog) -> dict[int, dict]:
+    """Per-node static predictions keyed by ``node_id``.
+
+    Runs :func:`assign_node_ids` (idempotent — ids are stable tree
+    positions) and the type checker, and returns, for every node, the
+    operator name, its repr and the inferred output schema — the
+    "estimate" half of the doctor's explain-analyze table.  Scalar
+    subquery plans are excluded: they never get engine spans of their
+    own.
+    """
+    assign_node_ids(plan)
+    checker = TypeChecker(catalog, collect=False)
+    out: dict[int, dict] = {}
+    for node in plan.walk():
+        if node.node_id is None:  # pragma: no cover - ids just assigned
+            continue
+        schema = checker.schema_of(node)
+        out[node.node_id] = {
+            "op": type(node).__name__.lower(),
+            "node": repr(node),
+            "columns": (
+                None
+                if schema is None
+                else {n: m.describe() for n, m in schema.items()}
+            ),
+            "n_columns": None if schema is None else len(schema),
+        }
+    return out
 
 
 def analyze_plan(

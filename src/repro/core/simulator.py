@@ -167,11 +167,17 @@ class DeviceExecutor:
             )
         if not self.tracer.enabled:
             return handler(plan)
+        # ``node`` mirrors the engine spans: the analyzer's plan-node
+        # id, the doctor's key for joining predictions to actuals.
         with self.tracer.span(
-            "device." + type(plan).__name__.lower(), lane="device"
+            "device." + type(plan).__name__.lower(), lane="device",
+            node=getattr(plan, "node_id", None),
         ) as span:
             out = handler(plan)
-            span.set(rows_out=out.relation.nrows)
+            span.set(
+                rows_out=out.relation.nrows,
+                bytes_out=out.relation.nbytes(),
+            )
             return out
 
     # -- operators ------------------------------------------------------------------
@@ -570,6 +576,7 @@ class HybridEngine(Engine):
             subtree = self.tracer.span(
                 "device.subtree", lane="device",
                 root=type(plan).__name__.lower(),
+                node=getattr(plan, "node_id", None),
             )
             try:
                 with subtree:

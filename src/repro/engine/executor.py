@@ -175,11 +175,19 @@ class Engine:
             return handler(plan)
         # The span covers the whole subtree (children recurse inside
         # it); the flame summary's self-time subtracts them back out.
+        # ``node`` is the analyzer's plan-node id (assign_node_ids) —
+        # the join key the doctor uses to marry predictions with
+        # actuals; None when the plan was never analyzed.
         with self.tracer.span(
-            "engine." + type(plan).__name__.lower()
+            "engine." + type(plan).__name__.lower(),
+            node=getattr(plan, "node_id", None),
         ) as span:
             out = handler(plan)
-            span.set(rows_out=out.nrows)
+            span.set(
+                rows_out=out.nrows,
+                cols_out=len(out.columns),
+                bytes_out=out.nbytes(),
+            )
             return out
 
     def _run_morsel(self, plan: Plan) -> Relation | None:

@@ -324,6 +324,22 @@ class MorselExecutor:
 
     # -- driver ----------------------------------------------------------------
 
+    def _fragment_nodes(self) -> list[int]:
+        """Plan-node ids the fragment covers (doctor's join key).
+
+        A streamed fragment subsumes several plan nodes into one span,
+        so it advertises all of them; empty when the plan was never
+        run through ``assign_node_ids``.
+        """
+        frag = self.fragment
+        nodes = [frag.scan, *frag.steps]
+        if frag.terminal is not None:
+            nodes.append(frag.terminal)
+            if frag.kind == "topk":
+                nodes.append(frag.terminal.child)  # the Sort under Limit
+        ids = [getattr(n, "node_id", None) for n in nodes]
+        return sorted(i for i in ids if i is not None)
+
     def run(self, spans: list[tuple[int, int]]) -> Relation:
         with self.tracer.span(
             "morsel.fragment",
@@ -331,7 +347,8 @@ class MorselExecutor:
             kind=self.fragment.kind,
             morsels=len(spans),
             workers=self.config.n_workers,
-        ):
+            nodes=self._fragment_nodes(),
+        ) as fspan:
             if self.config.n_workers > 1 and len(spans) > 1:
                 with ThreadPoolExecutor(
                     max_workers=self.config.n_workers,
@@ -344,6 +361,8 @@ class MorselExecutor:
                                   kind=self.fragment.kind):
                 result = self._merge(partials)
             self._record(partials, result)
+            fspan.set(rows_out=result.nrows,
+                      bytes_out=result.nbytes())
         return result
 
     # -- per-morsel pipeline -----------------------------------------------------

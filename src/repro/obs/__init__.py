@@ -15,23 +15,51 @@ this package is to the Python runtime's *actual* behaviour:
 ``export``
     Chrome trace-event JSON (``chrome://tracing`` / Perfetto, one lane
     per worker thread and device stage), Prometheus text exposition,
-    and a human flame summary; plus the schema validator the CI smoke
-    job runs against every exported trace.
+    and a human flame summary; plus the schema validators the CI smoke
+    job runs against every exported trace and metrics scrape.
+``critpath``
+    Span-forest reconstruction and critical-path extraction — which
+    lane gated a run, with per-lane utilization and bottleneck
+    attribution.  Input is the tracer's raw records, so tests feed it
+    synthetic fixtures deterministically.
+``baseline``
+    JSONL run-record store plus the median-of-N, noise-aware
+    comparator behind ``python -m repro perf diff``.
+``server``
+    Stdlib HTTP endpoint (``/metrics``, ``/healthz``, ``/trace/last``)
+    behind ``python -m repro serve``.
 
 Layering: this package imports nothing from the rest of ``repro`` (the
 executors, storage and analysis import *us*), so it can be threaded
-through every layer without cycles.
+through every layer without cycles.  The one exception is
+``obs.doctor`` — the query doctor *drives* the engine, simulator and
+perf model, so it sits above them and is deliberately not re-exported
+here; import it as :mod:`repro.obs.doctor`.
 """
 
 from __future__ import annotations
 
+from repro.obs.baseline import (
+    DiffReport,
+    RunRecord,
+    append_records,
+    compare,
+    load_records,
+)
+from repro.obs.critpath import (
+    CritPathAnalysis,
+    analyze_records,
+    analyze_tracer,
+)
 from repro.obs.export import (
     chrome_trace,
     flame_summary,
     prometheus_text,
     validate_chrome_trace,
+    validate_prometheus_text,
     write_chrome_trace,
 )
+from repro.obs.server import ObsServer, set_last_trace
 from repro.obs.metrics import (
     METRICS,
     Counter,
@@ -53,18 +81,29 @@ __all__ = [
     "METRICS",
     "NULL_TRACER",
     "Counter",
+    "CritPathAnalysis",
+    "DiffReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
+    "ObsServer",
+    "RunRecord",
     "Span",
     "Tracer",
+    "analyze_records",
+    "analyze_tracer",
+    "append_records",
     "chrome_trace",
+    "compare",
     "flame_summary",
     "get_tracer",
+    "load_records",
     "prometheus_text",
     "set_global_tracer",
+    "set_last_trace",
     "traced",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "write_chrome_trace",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "flame_summary",
     "prometheus_text",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "write_chrome_trace",
 ]
 
@@ -214,16 +215,122 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             if m.help:
                 lines.append(f"# HELP {name} {m.help}")
             lines.append(f"# TYPE {name} histogram")
+            # One locked snapshot: reading the fields piecemeal while a
+            # worker observes can emit a finite bucket above +Inf,
+            # which a scraper rejects as non-monotonic.
+            bucket_counts, total_sum, total_count = m.snapshot()
             cumulative = 0
-            for bound, count in zip(m.bounds, m.bucket_counts):
+            for bound, count in zip(m.bounds, bucket_counts):
                 cumulative += count
                 lines.append(
                     f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
                 )
-            lines.append(f'{name}_bucket{{le="+Inf"}} {m.count}')
-            lines.append(f"{name}_sum {_fmt(m.sum)}")
-            lines.append(f"{name}_count {m.count}")
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} '
+                f"{cumulative + bucket_counts[-1]}"
+            )
+            lines.append(f"{name}_sum {_fmt(total_sum)}")
+            lines.append(f"{name}_count {total_count}")
     return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Check an exposition against the 0.0.4 text format.
+
+    Validates the structural rules a Prometheus scraper enforces:
+    sample-line shape, metric-name syntax, ``TYPE`` before samples,
+    histogram bucket monotonicity, a ``+Inf`` bucket matching
+    ``_count``, and a trailing newline.  Returns a list of problems
+    (empty = scrapeable), mirroring :func:`validate_chrome_trace`.
+    """
+    problems: list[str] = []
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    typed: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    for ln, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {ln}: malformed TYPE line")
+                continue
+            _, _, name, mtype = parts
+            if mtype not in ("counter", "gauge", "histogram",
+                            "summary", "untyped"):
+                problems.append(
+                    f"line {ln}: unknown metric type {mtype!r}"
+                )
+            typed[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue
+        # Sample line: name[{labels}] value
+        head, _, value_str = line.rpartition(" ")
+        if not head:
+            problems.append(f"line {ln}: missing value")
+            continue
+        name, _, labels = head.partition("{")
+        if not _valid_metric_name(name):
+            problems.append(f"line {ln}: bad metric name {name!r}")
+            continue
+        if labels and not labels.endswith("}"):
+            problems.append(f"line {ln}: unterminated label set")
+            continue
+        try:
+            value = float(value_str)
+        except ValueError:
+            problems.append(
+                f"line {ln}: non-numeric value {value_str!r}"
+            )
+            continue
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        if base not in typed and name not in typed:
+            problems.append(
+                f"line {ln}: sample {name!r} precedes its TYPE line"
+            )
+        if name.endswith("_bucket") and labels.startswith('le="'):
+            le_str = labels[len('le="'):].split('"', 1)[0]
+            le = float("inf") if le_str == "+Inf" else float(le_str)
+            buckets.setdefault(base, []).append((le, value))
+        elif name.endswith("_count"):
+            counts[base] = value
+    for base, entries in buckets.items():
+        if typed.get(base) != "histogram":
+            continue
+        prev = -float("inf")
+        prev_le = None
+        for le, value in entries:
+            if prev_le is not None and le <= prev_le:
+                problems.append(
+                    f"{base}: bucket le={le} out of order"
+                )
+            if value < prev:
+                problems.append(
+                    f"{base}: non-monotonic bucket at le={le} "
+                    f"({value} < {prev})"
+                )
+            prev, prev_le = value, le
+        if not entries or entries[-1][0] != float("inf"):
+            problems.append(f"{base}: missing +Inf bucket")
+        elif base in counts and entries[-1][1] != counts[base]:
+            problems.append(
+                f"{base}: +Inf bucket {entries[-1][1]} != "
+                f"_count {counts[base]}"
+            )
+    return problems
+
+
+def _valid_metric_name(name: str) -> bool:
+    if not name or not (name[0].isalpha() or name[0] in "_:"):
+        return False
+    return all(ch.isalnum() or ch in "_:" for ch in name)
 
 
 def _fmt(value: float) -> str:
@@ -257,7 +364,9 @@ def flame_summary(tracer: Tracer | NullTracer, top: int = 0) -> str:
 
     wall = sum(entry[2] for entry in stats.values())
     rows = sorted(stats.items(), key=lambda kv: -kv[1][2])
-    if top:
+    n_hidden = 0
+    if top and len(rows) > top:
+        n_hidden = len(rows) - top
         rows = rows[:top]
 
     width = max(len(name) for name, _ in rows)
@@ -271,6 +380,8 @@ def flame_summary(tracer: Tracer | NullTracer, top: int = 0) -> str:
             f"{name:<{width}} {count:>7} {_ms(self_ns):>10} "
             f"{_ms(total):>10} {_ms(max_ns):>10} {share:>6.1%}"
         )
+    if n_hidden:
+        lines.append(f"… and {n_hidden} more")
     lines.append(f"{'(traced wall-clock)':<{width}} {'':>7} "
                  f"{_ms(wall):>10}")
     return "\n".join(lines)

@@ -108,6 +108,17 @@ class Histogram:
             self.sum = 0.0
             self.count = 0
 
+    def snapshot(self) -> tuple[tuple[int, ...], float, int]:
+        """Consistent ``(bucket_counts, sum, count)`` under the lock.
+
+        Exporters must use this instead of reading the fields directly:
+        a concurrent ``observe()`` between field reads can yield a
+        cumulative bucket count above the ``+Inf`` total, which
+        Prometheus rejects as a non-monotonic histogram.
+        """
+        with self._lock:
+            return tuple(self.bucket_counts), self.sum, self.count
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0

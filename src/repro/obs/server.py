@@ -1,0 +1,137 @@
+"""Stdlib HTTP endpoint for scraping a long-running engine.
+
+``python -m repro serve`` keeps a process warm and exposes:
+
+``/metrics``
+    Prometheus text exposition (0.0.4) of the process registry —
+    scrape-safe because histograms snapshot under their lock.
+``/healthz``
+    JSON liveness: status, uptime, and counts of served scrapes.
+``/trace/last``
+    The Chrome-trace JSON of the most recent traced query (404 until
+    one ran), so a dashboard can deep-link "open last trace".
+
+A :class:`~http.server.ThreadingHTTPServer` keeps a slow scraper from
+blocking the next one; all state it reads (the metrics registry, the
+last-trace document slot) is already thread-safe or swapped
+atomically.  Port 0 binds an ephemeral port — tests use this.
+
+Layering: imports only sibling ``obs`` modules, never the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+__all__ = ["ObsServer", "set_last_trace", "get_last_trace"]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# The most recent query's Chrome-trace document.  A plain slot guarded
+# by the GIL's atomic attribute swap: writers replace the whole dict,
+# readers serialize whatever reference they grabbed.
+_last_trace: dict[str, Any] | None = None
+
+
+def set_last_trace(doc: dict[str, Any] | None) -> None:
+    global _last_trace
+    _last_trace = doc
+
+
+def get_last_trace() -> dict[str, Any] | None:
+    return _last_trace
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        srv: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = prometheus_text(srv.registry).encode()
+            self._reply(200, PROM_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            doc = {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - srv.t0, 3),
+                "scrapes": srv.n_requests,
+            }
+            self._reply(200, "application/json",
+                        json.dumps(doc).encode())
+        elif path == "/trace/last":
+            doc = get_last_trace()
+            if doc is None:
+                self._reply(404, "application/json",
+                            b'{"error": "no trace recorded yet"}')
+            else:
+                self._reply(200, "application/json",
+                            json.dumps(doc).encode())
+        else:
+            self._reply(404, "application/json",
+                        b'{"error": "unknown path"}')
+        srv.n_requests += 1
+
+    def _reply(self, code: int, ctype: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # scrapes every few seconds would flood stderr
+
+
+class ObsServer:
+    """The /metrics + /healthz + /trace/last endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9463,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.registry = registry if registry is not None else METRICS
+        self.t0 = time.monotonic()
+        self.n_requests = 0
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.obs = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Serve on a daemon thread (tests, warm CLI process)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

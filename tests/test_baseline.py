@@ -1,0 +1,132 @@
+"""Run-record store and the noise-aware perf-diff comparator."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.baseline import (
+    RunRecord,
+    append_records,
+    compare,
+    load_records,
+    median_by_metric,
+)
+
+
+def _rec(bench, **metrics):
+    return RunRecord(bench=bench, metrics=metrics, meta={})
+
+
+class TestStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "runs" / "records.jsonl"
+        first = [_rec("scaling", wall_ms=100.0)]
+        second = [_rec("scaling", wall_ms=104.0)]
+        append_records(path, first)
+        append_records(path, second)  # appends, never truncates
+        loaded = load_records(path)
+        assert [r.metrics for r in loaded] == [
+            {"wall_ms": 100.0},
+            {"wall_ms": 104.0},
+        ]
+
+    def test_load_reports_the_bad_line(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text('{"bench": "a", "metrics": {}}\nnot json\n')
+        with pytest.raises(ValueError, match=":2: bad run record"):
+            load_records(path)
+
+    def test_median_of_n(self):
+        records = [
+            _rec("b", x=1.0),
+            _rec("b", x=9.0),
+            _rec("b", x=2.0),
+        ]
+        assert median_by_metric(records)[("b", "x")] == (2.0, 3)
+
+
+class TestCompare:
+    def test_injected_regression_is_detected(self):
+        # model.* metrics are deterministic, so their band is ±2%; a
+        # 10% injected morsel-scaling regression must trip it.
+        base = [_rec("morsel_scaling", **{"model.q06_runtime_s": 66.0})]
+        cur = [_rec("morsel_scaling",
+                    **{"model.q06_runtime_s": 72.6})]
+        report = compare(base, cur)
+        assert report.regressions
+        assert report.failed(strict=False)
+
+    def test_unchanged_rerun_passes(self):
+        records = [
+            _rec("morsel_scaling",
+                 **{"model.q06_runtime_s": 66.0, "wall.q06_ms": 120.0}),
+        ]
+        report = compare(records, records)
+        assert not report.regressions
+        assert not report.failed(strict=True)
+
+    def test_wall_band_absorbs_scheduler_noise(self):
+        base = [_rec("b", **{"wall.q06_ms": 100.0})]
+        cur = [_rec("b", **{"wall.q06_ms": 110.0})]  # 10% < ±25%
+        report = compare(base, cur)
+        assert not report.regressions
+
+    def test_direction_aware_higher_is_better(self):
+        base = [_rec("b", **{"speedup.4w": 3.0})]
+        slower = compare(base, [_rec("b", **{"speedup.4w": 2.0})])
+        faster = compare(base, [_rec("b", **{"speedup.4w": 4.0})])
+        assert slower.regressions
+        assert not faster.regressions  # improvement, not regression
+
+    def test_missing_metric_only_fails_strict(self):
+        base = [_rec("b", x=1.0, y=2.0)]
+        cur = [_rec("b", x=1.0)]
+        report = compare(base, cur)
+        assert report.missing
+        assert not report.failed(strict=False)
+        assert report.failed(strict=True)
+
+    def test_threshold_override(self):
+        base = [_rec("b", **{"wall.q06_ms": 100.0})]
+        cur = [_rec("b", **{"wall.q06_ms": 110.0})]
+        report = compare(base, cur, thresholds={"wall.": 0.05})
+        assert report.regressions
+
+
+class TestPerfDiffCli:
+    def _write(self, path, records):
+        append_records(path, records)
+        return str(path)
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.jsonl",
+            [_rec("morsel_scaling", **{"model.q06_runtime_s": 66.0})],
+        )
+        cur = self._write(
+            tmp_path / "cur.jsonl",
+            [_rec("morsel_scaling", **{"model.q06_runtime_s": 72.6})],
+        )
+        assert main(["perf", "diff", base, cur]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.jsonl",
+            [_rec("morsel_scaling", **{"model.q06_runtime_s": 66.0})],
+        )
+        assert main(["perf", "diff", "--strict", base, base]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        base = self._write(
+            tmp_path / "base.jsonl",
+            [_rec("b", **{"wall.q06_ms": 100.0})],
+        )
+        cur = self._write(
+            tmp_path / "cur.jsonl",
+            [_rec("b", **{"wall.q06_ms": 110.0})],
+        )
+        assert main(["perf", "diff", base, cur]) == 0
+        assert main(
+            ["perf", "diff", "--threshold", "wall.=0.05", base, cur]
+        ) == 1

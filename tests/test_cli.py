@@ -70,6 +70,20 @@ class TestCli:
         prom = metrics.read_text()
         assert "# TYPE repro_" in prom
 
+    def test_profile_warns_on_dropped_spans(self, capsys, tmp_path):
+        code = main(
+            [
+                "profile", "6", "--sf", "0.002",
+                "--ring-capacity", "4",
+                "--trace-out", str(tmp_path / "q06.trace.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WARNING:" in out
+        assert "spans dropped (raise ring_capacity)" in out
+        assert "coverage undercounts" in out
+
     def test_query_with_trace_out(self, capsys, tmp_path):
         trace = tmp_path / "q01.trace.json"
         code = main(

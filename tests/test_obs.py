@@ -251,6 +251,23 @@ class TestFlameSummary:
     def test_empty_tracer(self):
         assert "no spans" in flame_summary(Tracer())
 
+    def test_truncation_prints_hidden_count(self):
+        t = Tracer()
+        for i in range(5):
+            with t.span(f"span_{i}"):
+                pass
+        text = flame_summary(t, top=2)
+        assert "… and 3 more" in text
+
+    def test_top_zero_prints_everything(self):
+        t = Tracer()
+        for i in range(5):
+            with t.span(f"span_{i}"):
+                pass
+        text = flame_summary(t, top=0)
+        assert "more" not in text
+        assert all(f"span_{i}" in text for i in range(5))
+
 
 class TestExecutorIntegration:
     def test_engine_records_operator_spans(self, tiny_db):

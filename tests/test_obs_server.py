@@ -1,0 +1,79 @@
+"""The /metrics, /healthz and /trace/last HTTP endpoints."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import validate_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import (
+    PROM_CONTENT_TYPE,
+    ObsServer,
+    set_last_trace,
+)
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("test.requests", "requests seen").inc(3)
+    reg.histogram("test.latency_ms", "latency").observe(12.5)
+    reg.gauge("test.depth", "queue depth").set(7)
+    return reg
+
+
+@pytest.fixture()
+def server(registry):
+    srv = ObsServer(port=0, registry=registry).start()
+    yield srv
+    srv.stop()
+    set_last_trace(None)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+class TestEndpoints:
+    def test_metrics_is_valid_prometheus_text(self, server):
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+        text = body.decode()
+        assert validate_prometheus_text(text) == []
+        assert "repro_test_requests_total 3" in text
+        assert 'repro_test_latency_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_test_depth 7" in text
+
+    def test_healthz(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["uptime_s"] >= 0
+
+    def test_trace_last_404_until_set(self, server):
+        set_last_trace(None)
+        status, _, _ = _get(server.url + "/trace/last")
+        assert status == 404
+        doc = {"traceEvents": [], "otherData": {"query": "q06"}}
+        set_last_trace(doc)
+        status, _, body = _get(server.url + "/trace/last")
+        assert status == 200
+        assert json.loads(body) == doc
+
+    def test_unknown_path_is_404(self, server):
+        status, _, _ = _get(server.url + "/nope")
+        assert status == 404
+
+    def test_healthz_counts_scrapes(self, server):
+        _get(server.url + "/metrics")
+        _get(server.url + "/metrics")
+        _, _, body = _get(server.url + "/healthz")
+        assert json.loads(body)["scrapes"] >= 2
