@@ -18,6 +18,10 @@ Commands:
   analyzer's predictions with observed actuals;
 - ``perf diff`` — compare run-record stores (JSONL) with median-of-N,
   noise-aware thresholds; ``--strict`` exits 1 on regressions, for CI;
+- ``chaos``    — seeded fault-injection campaigns: run queries under
+  injected flash/worker/device faults and verify every recovery path
+  returns bit-identical results, emitting a JSON report; exits 1 on
+  any mismatch or unrecoverable fault, for the CI chaos gate;
 - ``serve``    — stdlib HTTP endpoint exposing ``/metrics``
   (Prometheus), ``/healthz`` and ``/trace/last``.
 
@@ -315,6 +319,56 @@ def cmd_perf_diff(args) -> int:
     return 1 if report.failed(strict=args.strict) else 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a seeded chaos campaign and emit its JSON report."""
+    import json
+
+    from repro.faults.chaos import run_campaign
+    from repro.faults.plan import FaultConfig
+
+    if args.queries.strip().lower() == "all":
+        queries = list(range(1, 23))
+    else:
+        queries = [int(q) for q in args.queries.split(",") if q.strip()]
+    seeds = [args.seed + k for k in range(args.campaign)]
+    config = FaultConfig(
+        page_error_rate=args.page_error_rate,
+        latency_spike_rate=args.latency_spike_rate,
+        worker_crash_rate=args.worker_crash_rate,
+        device_fault_rate=args.device_fault_rate,
+        channel_stall_rate=args.channel_stall_rate,
+        retry_budget=args.retry_budget,
+    )
+    report = run_campaign(
+        queries,
+        seeds,
+        config,
+        sf=args.sf,
+        target_sf=args.target_sf,
+        workers=args.workers,
+        morsel_rows=args.morsel_rows,
+        log=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"chaos report: {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    totals = report["totals"]
+    print(
+        f"chaos: {len(report['runs'])} runs, "
+        f"{totals.get('injected', 0)} faults injected, "
+        f"{totals.get('page_retries', 0)} retries, "
+        f"{totals.get('morsel_retries', 0)} morsel re-runs, "
+        f"{totals.get('host_fallbacks', 0)} host fallbacks "
+        f"-> {report['verdict']}",
+        file=sys.stderr,
+    )
+    return 0 if report["verdict"] == "pass" else 1
+
+
 def cmd_serve(args) -> int:
     """Serve /metrics, /healthz and /trace/last over stdlib HTTP."""
     from repro.obs import chrome_trace
@@ -498,6 +552,63 @@ def main(argv: list[str] | None = None) -> int:
     p_diff.add_argument("--verbose", action="store_true",
                         help="print every metric, not just changes")
     p_diff.set_defaults(func=cmd_perf_diff)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with bit-identical "
+        "recovery verification",
+    )
+    p_chaos.add_argument(
+        "queries",
+        help='TPC-H query numbers: "6", "1,6,14", or "all"',
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="first campaign seed (default 0)",
+    )
+    p_chaos.add_argument(
+        "--campaign", type=int, default=5,
+        help="number of consecutive seeds to run (default 5)",
+    )
+    p_chaos.add_argument(
+        "--page-error-rate", type=float, default=0.02,
+        help="transient flash page read error rate (default 0.02)",
+    )
+    p_chaos.add_argument(
+        "--latency-spike-rate", type=float, default=0.05,
+        help="page-read latency spike rate (default 0.05)",
+    )
+    p_chaos.add_argument(
+        "--worker-crash-rate", type=float, default=0.2,
+        help="morsel-worker crash rate (default 0.2)",
+    )
+    p_chaos.add_argument(
+        "--device-fault-rate", type=float, default=0.3,
+        help="mid-task device fault rate per subtree (default 0.3)",
+    )
+    p_chaos.add_argument(
+        "--channel-stall-rate", type=float, default=0.25,
+        help="whole-channel stall rate (default 0.25)",
+    )
+    p_chaos.add_argument(
+        "--retry-budget", type=int, default=3,
+        help="retries after the first failure; 0 makes any transient "
+        "fault terminal (default 3)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=4,
+        help="morsel worker threads (default 4)",
+    )
+    p_chaos.add_argument(
+        "--morsel-rows", type=int, default=8192,
+        help="rows per morsel (default 8192)",
+    )
+    p_chaos.add_argument(
+        "--out", metavar="FILE",
+        help="write the JSON report here instead of stdout",
+    )
+    _add_common(p_chaos)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_serve = sub.add_parser(
         "serve", help="HTTP /metrics, /healthz and /trace/last"

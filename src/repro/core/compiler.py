@@ -73,6 +73,7 @@ class SuspendReason(Enum):
     UNSUPPORTED_OP = "operator not offloadable"
     GROUP_SPILL = "aggregate groups exceed hash buckets"
     DRAM_EXCEEDED = "device DRAM exceeded"
+    DEVICE_FAULT = "device fault"
 
 
 REAL_SUSPENSIONS = frozenset(
@@ -81,6 +82,7 @@ REAL_SUSPENSIONS = frozenset(
         SuspendReason.STRING_HEAP,
         SuspendReason.GROUP_SPILL,
         SuspendReason.DRAM_EXCEEDED,
+        SuspendReason.DEVICE_FAULT,
     }
 )
 

@@ -30,6 +30,7 @@ from repro.core.swissknife.sorter import StreamingSorter
 from repro.core.swissknife.topk import TopKAccelerator
 from repro.core.tabletask import SwissknifeOp, TableTask, TaskOutput
 from repro.engine.relation import Relation, typed_array_from_column
+from repro.faults.injector import get_fault_injector
 from repro.flash.nand import FlashConfig
 from repro.obs import METRICS, NULL_TRACER, NullTracer, Tracer
 from repro.sqlir.expr import (
@@ -78,6 +79,7 @@ class DeviceMeters:
     spilled_groups: int = 0
     tasks_run: int = 0
     pe_fallback_exprs: int = 0  # transforms evaluated off the PE path
+    fault_stall_s: float = 0.0  # injected stalls on the critical channel
 
 
 class AquomanDevice:
@@ -124,11 +126,14 @@ class AquomanDevice:
         extent = self.layout.extent(table, column)
         if mask is None:
             touched = extent.n_pages
+            touched_pages = None  # the whole extent
         else:
             per_page = extent.rows_per_page()
-            touched = int(mask.group_any(per_page).sum())
+            touched_pages = mask.group_any(per_page)
+            touched = int(touched_pages.sum())
         nbytes = touched * PAGE_BYTES
         self.meters.flash_bytes += nbytes
+        self._inject_page_faults(extent, touched_pages, touched)
         METRICS.counter(
             "device.flash_pages_read", "pages streamed off flash"
         ).inc(touched)
@@ -137,6 +142,27 @@ class AquomanDevice:
             "fully-masked pages the Table Reader skipped",
         ).inc(extent.n_pages - touched)
         return nbytes
+
+    def _inject_page_faults(self, extent, touched_pages, touched) -> None:
+        """Consult the fault injector for the pages just charged.
+
+        Channels stream in parallel, so the batch's marginal wall time
+        is the worst single channel's stall (retry backoff + spikes);
+        an unrecoverable page propagates out of the injector.
+        """
+        injector = get_fault_injector()
+        if not injector.enabled or not touched:
+            return
+        local = (
+            np.arange(extent.n_pages, dtype=np.int64)
+            if touched_pages is None
+            else np.flatnonzero(touched_pages)
+        )
+        stall = injector.charge_page_reads(
+            extent.first_page + local, self.config.flash.n_channels
+        )
+        if stall is not None:
+            self.meters.fault_stall_s += float(stall.max())
 
     def effective_heap_bytes(self, heap) -> int:
         """Heap size at the simulated scale (for the 1 MB cache rule)."""

@@ -32,6 +32,8 @@ from repro.core.compiler import (
 )
 from repro.core.device import AquomanDevice, DeviceConfig
 from repro.core.memory import MemoryExceeded
+from repro.faults.errors import DeviceFault
+from repro.faults.injector import get_fault_injector
 from repro.core.regex_accel import HeapTooLarge
 from repro.core.row_selector import extract_predicate_program
 from repro.core.swissknife.groupby import HASH_BUCKETS, zip_group_columns
@@ -564,6 +566,10 @@ class HybridEngine(Engine):
         self.offload_roots = offload_roots
         self.device_rows = 0
         self.runtime_suspensions: set[SuspendReason] = set()
+        # Deterministic device-fault addressing: the host plan walk is
+        # single-threaded, so offload attempts have a stable order and
+        # "subtree<n>" names the same subtree on every run.
+        self._fault_sites = itertools.count()
 
     def _run(self, plan: Plan) -> Relation:
         decision = self.decisions.get(id(plan))
@@ -578,8 +584,12 @@ class HybridEngine(Engine):
                 root=type(plan).__name__.lower(),
                 node=getattr(plan, "node_id", None),
             )
+            injector = get_fault_injector()
+            fault_site = f"subtree{next(self._fault_sites)}"
             try:
                 with subtree:
+                    if injector.enabled:
+                        injector.check_device(fault_site)
                     relation = executor.run(plan)
                 self.device_rows += executor.rows_processed
                 if executor.spilled_rows:
@@ -613,6 +623,24 @@ class HybridEngine(Engine):
                 )
                 self.runtime_suspensions.add(SuspendReason.STRING_HEAP)
                 self._record_suspend(SuspendReason.STRING_HEAP)
+            except DeviceFault as fault:
+                # Injected mid-task device death: same conservative
+                # recovery as the planned suspensions — roll the meters
+                # back and re-run the whole subtree on the host, which
+                # is ground truth and therefore bit-identical.
+                self.device.meters.__dict__.update(
+                    meters_snapshot.__dict__
+                )
+                self.runtime_suspensions.add(SuspendReason.DEVICE_FAULT)
+                self._record_suspend(SuspendReason.DEVICE_FAULT)
+                injector.record_fallback(
+                    fault.site, SuspendReason.DEVICE_FAULT.value
+                )
+                with self.tracer.span(
+                    "fault.fallback", lane="host", site=fault.site,
+                    root=type(plan).__name__.lower(),
+                ):
+                    return super()._run(plan)
         return super()._run(plan)
 
     def _record_suspend(self, reason: SuspendReason) -> None:
@@ -690,6 +718,7 @@ class AquomanSimulator:
         trace.aquoman_dram_peak_bytes = int(
             device.memory.peak_effective / ratio
         )
+        trace.aquoman_fault_stall_s = meters.fault_stall_s
         trace.groupby_spill_groups += meters.spilled_groups
         if meters.spilled_groups:
             METRICS.counter(

@@ -40,6 +40,8 @@ import numpy as np
 
 from repro.analysis.morselsafety import aggregate_merge_verdict
 from repro.core.row_selector import RowSelector, extract_predicate_program
+from repro.faults.errors import UnrecoverableFault, WorkerCrash
+from repro.faults.injector import get_fault_injector
 from repro.engine.operators.grouping import (
     GroupedKeys,
     aggregate_count,
@@ -297,6 +299,8 @@ class _Partial:
     pages_read: dict[str, int]
     pages_total: dict[str, int]
     page_ids: np.ndarray
+    # Injected per-channel fault stall (seconds); None when fault-free.
+    stall_s: np.ndarray | None = None
 
 
 class MorselExecutor:
@@ -354,9 +358,9 @@ class MorselExecutor:
                     max_workers=self.config.n_workers,
                     thread_name_prefix="morsel-worker",
                 ) as pool:
-                    partials = list(pool.map(self._run_span, spans))
+                    partials = list(pool.map(self._run_span_safe, spans))
             else:
-                partials = [self._run_span(span) for span in spans]
+                partials = [self._run_span_safe(span) for span in spans]
             with self.tracer.span("morsel.merge",
                                   kind=self.fragment.kind):
                 result = self._merge(partials)
@@ -366,6 +370,40 @@ class MorselExecutor:
         return result
 
     # -- per-morsel pipeline -----------------------------------------------------
+
+    def _run_span_safe(self, span: tuple[int, int]) -> _Partial:
+        """Run one morsel with crash injection and bounded re-execution.
+
+        The crash strikes *before* the span does any work (the worker
+        died picking the morsel up), so failed attempts charge no page
+        reads and re-execution is trivially bit-identical — the span is
+        a pure function of its ``[lo, hi)`` range.  Fault decisions are
+        addressed by the span's stable site name, never by thread
+        scheduling, so campaigns reproduce across worker counts.
+        """
+        injector = get_fault_injector()
+        if not injector.enabled:
+            return self._run_span(span)
+        lo, hi = span
+        site = f"morsel/{self.table.name}/{lo}-{hi}"
+        budget = injector.config.retry_budget
+        attempt = 0
+        while True:
+            try:
+                injector.check_worker(site, attempt)
+                return self._run_span(span)
+            except WorkerCrash as crash:
+                if attempt >= budget:
+                    raise UnrecoverableFault(
+                        f"{site} still crashing after {budget} retries",
+                        site=site,
+                    ) from crash
+                attempt += 1
+                injector.record_worker_retry(site, attempt)
+                self.tracer.instant(
+                    "fault.retry", lane="faults", site=site,
+                    attempt=attempt,
+                )
 
     def _run_span(self, span: tuple[int, int]) -> _Partial:
         lo, hi = span
@@ -377,10 +415,16 @@ class MorselExecutor:
             for step in self.fragment.steps[steps_done:]:
                 rel = _apply_step(step, rel)
             pages_read, pages_total, page_ids = reads.summary()
+            injector = get_fault_injector()
+            stall = (
+                injector.charge_page_reads(page_ids)
+                if injector.enabled
+                else None
+            )
             tspan.set(rows_out=rel.nrows,
                       pages_read=sum(pages_read.values()))
             return _Partial(self._partial(rel), pages_read, pages_total,
-                            page_ids)
+                            page_ids, stall)
 
     def _base_relation(
         self, lo: int, hi: int, reads: _SpanReads
@@ -549,6 +593,16 @@ class MorselExecutor:
             for name, n in p.pages_total.items():
                 pages_total[name] = pages_total.get(name, 0) + n
             meter.record_pages(p.page_ids)
+            meter.record_stalls(p.stall_s)
+        injector = get_fault_injector()
+        if injector.enabled:
+            # Whole-channel stalls hit every stream crossing the stripe.
+            meter.record_stalls(
+                injector.channel_stall_seconds(meter.n_channels)
+            )
+            fault_stall = meter.stall_marginal_seconds()
+            if fault_stall:
+                self.trace.fault_stall_s += fault_stall
         bytes_read = 0
         for name in pages_read:
             self.trace.record_flash_pages(

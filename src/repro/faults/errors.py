@@ -1,0 +1,57 @@
+"""Typed fault exceptions shared by the flash and execution layers.
+
+Each injected fault class raises its own exception type so every
+recovery path has something structured to catch: transient flash page
+errors (retried with exponential backoff), morsel-worker crashes
+(re-executed at morsel granularity), and mid-task device faults
+(suspended — the whole subtree re-runs on the host).  When a retry
+budget runs out the recovery layer re-raises the terminal
+:class:`UnrecoverableFault`, chaining the last underlying fault.
+
+This module imports nothing from the rest of ``repro`` so the flash
+substrate can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class of every injected (or modeled) runtime fault."""
+
+
+class TransientPageError(FaultError):
+    """One flash page read failed; a retry may succeed."""
+
+    def __init__(self, page_id: int, channel: int, attempt: int = 0):
+        self.page_id = page_id
+        self.channel = channel
+        self.attempt = attempt
+        super().__init__(
+            f"transient read error on page {page_id} "
+            f"(channel {channel}, attempt {attempt})"
+        )
+
+
+class WorkerCrash(FaultError):
+    """A morsel worker died mid-span; the morsel can re-execute."""
+
+    def __init__(self, site: str, attempt: int = 0):
+        self.site = site
+        self.attempt = attempt
+        super().__init__(f"worker crash at {site} (attempt {attempt})")
+
+
+class DeviceFault(FaultError):
+    """The device died mid-Table-Task; the host re-runs the subtree."""
+
+    def __init__(self, site: str):
+        self.site = site
+        super().__init__(f"device fault at {site}")
+
+
+class UnrecoverableFault(FaultError):
+    """Every retry of a fault failed; the query cannot complete."""
+
+    def __init__(self, message: str, site: str = ""):
+        self.site = site
+        super().__init__(message)

@@ -16,6 +16,7 @@ from repro.flash.controller import (
     CommandKind,
     FlashCommand,
     FlashController,
+    FlashReadError,
     FlashStats,
 )
 from repro.flash.switch import ControllerSwitch, FlashClient
@@ -27,6 +28,7 @@ __all__ = [
     "CommandKind",
     "FlashCommand",
     "FlashController",
+    "FlashReadError",
     "FlashStats",
     "ControllerSwitch",
     "FlashClient",

@@ -23,6 +23,10 @@ class ChannelMeter:
         self.config = config or FlashConfig()
         self.n_channels = self.config.n_channels
         self.pages_read = np.zeros(self.n_channels, dtype=np.int64)
+        # Injected fault stalls (retry backoff, latency spikes, whole-
+        # channel stalls), in seconds, charged per channel so a stalled
+        # channel visibly moves the critical path.
+        self.stall_seconds = np.zeros(self.n_channels, dtype=np.float64)
 
     def record_pages(self, page_ids: np.ndarray) -> None:
         """Charge a batch of global page ids to their channels."""
@@ -44,6 +48,15 @@ class ChannelMeter:
             hot = (start + np.arange(extra)) % self.n_channels
             self.pages_read[hot] += 1
 
+    def record_stall(self, channel: int, seconds: float) -> None:
+        """Charge an injected stall to one channel."""
+        self.stall_seconds[channel] += seconds
+
+    def record_stalls(self, per_channel: np.ndarray | None) -> None:
+        """Charge a per-channel stall vector (None = no stalls)."""
+        if per_channel is not None:
+            self.stall_seconds += per_channel
+
     @property
     def total_pages(self) -> int:
         return int(self.pages_read.sum())
@@ -61,17 +74,30 @@ class ChannelMeter:
             return 1.0
         return self.max_channel_pages * self.n_channels / total
 
-    def read_seconds(self) -> float:
-        """Time for the stripe to deliver the recorded pages.
-
-        Channels run in parallel, so the wall time is the busiest
-        channel's page count at a single channel's share of the
-        aggregate bandwidth.
-        """
+    def base_read_seconds(self) -> float:
+        """Fault-free delivery time for the recorded pages."""
         per_channel_bw = self.config.read_bandwidth / self.n_channels
         return (
             self.max_channel_pages * self.config.page_bytes / per_channel_bw
         )
+
+    def read_seconds(self) -> float:
+        """Time for the stripe to deliver the recorded pages.
+
+        Channels run in parallel, so the wall time is the slowest
+        channel: its page count at a single channel's share of the
+        aggregate bandwidth, plus any injected stall it absorbed.
+        """
+        per_channel_bw = self.config.read_bandwidth / self.n_channels
+        per_channel = (
+            self.pages_read * self.config.page_bytes / per_channel_bw
+            + self.stall_seconds
+        )
+        return float(per_channel.max())
+
+    def stall_marginal_seconds(self) -> float:
+        """Wall-clock the injected stalls added beyond the base time."""
+        return max(0.0, self.read_seconds() - self.base_read_seconds())
 
     def __repr__(self) -> str:
         return (

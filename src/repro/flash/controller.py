@@ -18,6 +18,24 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 
+class FlashReadError(ValueError):
+    """A page read the controller cannot serve (out of range).
+
+    Typed — with the page id and its stripe channel — so the fault
+    layer's retry path has something structured to catch, and a
+    ``ValueError`` subclass so pre-fault callers keep working.
+    """
+
+    def __init__(self, page_id: int, channel: int, total_pages: int):
+        self.page_id = page_id
+        self.channel = channel
+        self.total_pages = total_pages
+        super().__init__(
+            f"page id {page_id} (channel {channel}) out of range "
+            f"[0, {total_pages})"
+        )
+
+
 class CommandKind(Enum):
     READ = "read"
     WRITE = "write"
@@ -90,7 +108,11 @@ class FlashController:
         command), as a real bounded queue would make the submitter do.
         """
         if command.page_id < 0 or command.page_id >= self.config.total_pages:
-            raise ValueError(f"page id {command.page_id} out of range")
+            raise FlashReadError(
+                command.page_id,
+                command.page_id % self.config.n_channels,
+                self.config.total_pages,
+            )
 
         now = command.issue_time
         self._drain(now)
@@ -111,11 +133,30 @@ class FlashController:
         else:
             start = self._channel_free
         completion = start + service
+        if command.kind is CommandKind.READ:
+            completion += self._fault_stall(command.page_id)
         self._channel_free = completion
         self._inflight.append(completion)
         self._inflight.sort()
         self.stats.record(command)
         return completion
+
+    def _fault_stall(self, page_id: int) -> float:
+        """Injected stall (retry backoff + latency spike) for one read.
+
+        Consults the ambient fault injector; the command occupies the
+        channel for the whole stall, so a faulted page delays everything
+        queued behind it — and an unrecoverable page raises out of here.
+        """
+        from repro.faults.injector import get_fault_injector
+
+        injector = get_fault_injector()
+        if not injector.enabled:
+            return 0.0
+        stall = injector.charge_page_reads(
+            [page_id], self.config.n_channels
+        )
+        return float(stall.sum()) if stall is not None else 0.0
 
     def read_pages(
         self, page_ids, client: str = "host", issue_time: float = 0.0

@@ -59,7 +59,13 @@ from repro.obs.export import (
     validate_prometheus_text,
     write_chrome_trace,
 )
-from repro.obs.server import ObsServer, set_last_trace
+from repro.obs.server import (
+    ObsServer,
+    clear_degraded,
+    get_degraded,
+    set_degraded,
+    set_last_trace,
+)
 from repro.obs.metrics import (
     METRICS,
     Counter,
@@ -95,9 +101,12 @@ __all__ = [
     "analyze_tracer",
     "append_records",
     "chrome_trace",
+    "clear_degraded",
     "compare",
     "flame_summary",
+    "get_degraded",
     "get_tracer",
+    "set_degraded",
     "load_records",
     "prometheus_text",
     "set_global_tracer",

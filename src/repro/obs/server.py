@@ -7,6 +7,9 @@
     scrape-safe because histograms snapshot under their lock.
 ``/healthz``
     JSON liveness: status, uptime, and counts of served scrapes.
+    When a recovery path had to run (host fallback, retry-budget
+    exhaustion) the fault layer flips a process-wide degraded flag and
+    the status reads ``"degraded"`` with the reason attached.
 ``/trace/last``
     The Chrome-trace JSON of the most recent traced query (404 until
     one ran), so a dashboard can deep-link "open last trace".
@@ -30,7 +33,14 @@ from typing import Any
 from repro.obs.export import prometheus_text
 from repro.obs.metrics import METRICS, MetricsRegistry
 
-__all__ = ["ObsServer", "set_last_trace", "get_last_trace"]
+__all__ = [
+    "ObsServer",
+    "set_last_trace",
+    "get_last_trace",
+    "set_degraded",
+    "clear_degraded",
+    "get_degraded",
+]
 
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -49,6 +59,26 @@ def get_last_trace() -> dict[str, Any] | None:
     return _last_trace
 
 
+# Degraded-state flag: same GIL-atomic-swap discipline as _last_trace.
+# None = healthy; a dict = the most recent degradation and its context.
+_degraded: dict[str, Any] | None = None
+
+
+def set_degraded(reason: str, **info: Any) -> None:
+    """Mark the process degraded (a recovery path had to run)."""
+    global _degraded
+    _degraded = {"reason": reason, **info}
+
+
+def clear_degraded() -> None:
+    global _degraded
+    _degraded = None
+
+
+def get_degraded() -> dict[str, Any] | None:
+    return _degraded
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-obs/1"
     protocol_version = "HTTP/1.1"
@@ -60,11 +90,14 @@ class _Handler(BaseHTTPRequestHandler):
             body = prometheus_text(srv.registry).encode()
             self._reply(200, PROM_CONTENT_TYPE, body)
         elif path == "/healthz":
+            degraded = get_degraded()
             doc = {
-                "status": "ok",
+                "status": "degraded" if degraded else "ok",
                 "uptime_s": round(time.monotonic() - srv.t0, 3),
                 "scrapes": srv.n_requests,
             }
+            if degraded:
+                doc["degraded"] = degraded
             self._reply(200, "application/json",
                         json.dumps(doc).encode())
         elif path == "/trace/last":

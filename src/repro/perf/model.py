@@ -176,7 +176,12 @@ class SystemModel:
         return parallel, serial
 
     def host_io_seconds(self, trace: QueryTrace) -> float:
-        return trace.total_flash_bytes / BASELINE_READ_BANDWIDTH
+        # Injected fault stalls (retry backoff, latency spikes) sit on
+        # the critical flash channel, so they add to the I/O term.
+        return (
+            trace.total_flash_bytes / BASELINE_READ_BANDWIDTH
+            + trace.fault_stall_s
+        )
 
     def swap_seconds(self, trace: QueryTrace) -> float:
         """Disk-swap penalty when intermediates exceed host DRAM."""
@@ -200,7 +205,7 @@ class SystemModel:
         )
         sorter_s = trace.aquoman_sorter_bytes / aq.device_dram_bandwidth
         dma_s = trace.aquoman_output_bytes / aq.dma_bandwidth
-        return stream_s + sorter_s + dma_s
+        return stream_s + sorter_s + dma_s + trace.aquoman_fault_stall_s
 
     # -- combined ------------------------------------------------------------------
 

@@ -79,6 +79,13 @@ class QueryTrace:
     suspend_reason: str = ""
     offload_fraction_rows: float = 0.0  # share of row-work done on device
 
+    # --- injected fault stalls (zero on fault-free runs) ---
+    # Marginal wall-clock the slowest flash channel lost to injected
+    # retry backoff / latency spikes / channel stalls, host and device
+    # side; the timing models add these to their I/O terms.
+    fault_stall_s: float = 0.0
+    aquoman_fault_stall_s: float = 0.0
+
     def record_flash(self, table: str, column: str, n_bytes: int) -> None:
         key = (table, column)
         self.flash_read_bytes[key] = (
