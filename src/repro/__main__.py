@@ -39,6 +39,7 @@ from repro import tpch
 from repro.core import AquomanSimulator, DeviceConfig
 from repro.core.compiler import QueryCompiler
 from repro.engine import Engine
+from repro.engine.morsel import TUNED_MORSEL_ROWS, WORKER_BACKENDS
 from repro.obs import (
     METRICS,
     Tracer,
@@ -201,6 +202,7 @@ def cmd_profile(args) -> int:
                     parallel=True,
                     morsel_rows=args.morsel_rows,
                     n_workers=args.workers,
+                    worker_backend=args.backend,
                 ),
             )
             table = engine.execute(plan)
@@ -292,6 +294,7 @@ def cmd_doctor(args) -> int:
         dram_gb=args.dram_gb,
         workers=args.workers,
         morsel_rows=args.morsel_rows,
+        backend=args.backend,
         ring_capacity=args.ring_capacity,
     )
     print(report_json(report) if args.json else report.format())
@@ -347,6 +350,7 @@ def cmd_chaos(args) -> int:
         target_sf=args.target_sf,
         workers=args.workers,
         morsel_rows=args.morsel_rows,
+        backend=args.backend,
         log=lambda line: print(f"  {line}", file=sys.stderr),
     )
     text = json.dumps(report, indent=2)
@@ -387,7 +391,9 @@ def cmd_serve(args) -> int:
         engine = Engine(
             db,
             tracer=tracer,
-            morsels=MorselConfig(parallel=True, morsel_rows=8192),
+            morsels=MorselConfig(
+                parallel=True, morsel_rows=TUNED_MORSEL_ROWS
+            ),
         )
         for number in warm:
             plan = tpch.query(number)
@@ -453,12 +459,16 @@ def main(argv: list[str] | None = None) -> int:
     p_profile.add_argument("--no-device", action="store_true")
     p_profile.add_argument(
         "--workers", type=int, default=4,
-        help="morsel worker threads = trace lanes (default 4)",
+        help="morsel workers = trace lanes (default 4)",
     )
     p_profile.add_argument(
-        "--morsel-rows", type=int, default=8192,
-        help="rows per morsel; small default so tiny SFs still "
-        "fan out (default 8192)",
+        "--backend", choices=WORKER_BACKENDS, default="thread",
+        help="morsel worker backend; 'process' adds proc-worker-N "
+        "lanes to the trace (default thread)",
+    )
+    p_profile.add_argument(
+        "--morsel-rows", type=int, default=TUNED_MORSEL_ROWS,
+        help="rows per morsel (default %(default)s, bench-tuned)",
     )
     p_profile.add_argument(
         "--top", type=int, default=15,
@@ -513,12 +523,15 @@ def main(argv: list[str] | None = None) -> int:
     p_doctor.add_argument("--dram-gb", type=float, default=40.0)
     p_doctor.add_argument(
         "--workers", type=int, default=4,
-        help="morsel worker threads (default 4)",
+        help="morsel workers (default 4)",
     )
     p_doctor.add_argument(
-        "--morsel-rows", type=int, default=8192,
-        help="rows per morsel; small default so tiny SFs still "
-        "stream (default 8192)",
+        "--backend", choices=WORKER_BACKENDS, default="thread",
+        help="morsel worker backend (default thread)",
+    )
+    p_doctor.add_argument(
+        "--morsel-rows", type=int, default=TUNED_MORSEL_ROWS,
+        help="rows per morsel (default %(default)s, bench-tuned)",
     )
     p_doctor.add_argument(
         "--ring-capacity", type=int, default=None,
@@ -601,7 +614,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_chaos.add_argument(
         "--morsel-rows", type=int, default=8192,
-        help="rows per morsel (default 8192)",
+        help="rows per morsel; small default keeps fault-site "
+        "density high (default 8192)",
+    )
+    p_chaos.add_argument(
+        "--backend", choices=WORKER_BACKENDS, default="thread",
+        help="morsel worker backend; reports are identical across "
+        "backends (default thread)",
     )
     p_chaos.add_argument(
         "--out", metavar="FILE",

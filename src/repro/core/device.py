@@ -61,10 +61,12 @@ class DeviceConfig:
     scale_ratio: float = 1.0         # simulated SF / data SF
     flash: FlashConfig = field(default_factory=FlashConfig)
     # Streaming knobs: rows per morsel fed through the selector/
-    # transformer pipeline (None = monolithic, the original behaviour)
-    # and worker threads evaluating independent morsels.
+    # transformer pipeline (None = monolithic, the original behaviour),
+    # workers evaluating independent morsels, and the worker backend
+    # ("serial" | "thread" | "process", as in MorselConfig).
     morsel_rows: int | None = None
     n_workers: int = 1
+    worker_backend: str = "thread"
 
 
 @dataclass
@@ -253,7 +255,8 @@ class AquomanDevice:
             columns[name] = col.values
         if self.config.morsel_rows:
             selected = self._select_streamed(
-                task.row_sel, columns, base.nrows, mask
+                task.row_sel, columns, base.nrows, mask,
+                table=task.table,
             )
         else:
             selected = self.row_selector.select(
@@ -263,15 +266,17 @@ class AquomanDevice:
         return selected
 
     def _select_streamed(
-        self, program, columns, nrows: int, mask: BitVector | None
+        self, program, columns, nrows: int, mask: BitVector | None,
+        table: str = "",
     ) -> BitVector:
         """Row Selector over morsel-sized chunks of the column stream.
 
-        Chunks are independent, so with ``n_workers > 1`` they run on a
-        thread pool (the comparison kernels release the GIL); the
-        concatenated chunk masks are bit-identical to one monolithic
-        select, and the selector meters are charged the monolithic
-        amounts so traces stay comparable across configurations.
+        Chunks are independent, so with ``n_workers > 1`` they run on
+        the shared persistent worker pool (thread or forked-process,
+        per ``worker_backend``); the concatenated chunk masks are
+        bit-identical to one monolithic select, and the selector meters
+        are charged the monolithic amounts so traces stay comparable
+        across configurations.
         """
         step = self.config.morsel_rows
         spans = [
@@ -287,12 +292,16 @@ class AquomanDevice:
             sel = RowSelector(self.config.n_predicate_evaluators)
             return sel.select(program, chunk_cols, hi - lo, base_chunk).bits
 
+        parts = None
         if self.config.n_workers > 1 and len(spans) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+            if self.config.worker_backend == "process" and table:
+                parts = self._select_process(
+                    program, table, mask, spans, run_span
+                )
+            if parts is None:
+                from repro.engine.procpool import get_thread_pool
 
-            with ThreadPoolExecutor(
-                max_workers=self.config.n_workers
-            ) as pool:
+                pool = get_thread_pool(self.config.n_workers)
                 parts = list(pool.map(run_span, spans))
         else:
             parts = [run_span(span) for span in spans]
@@ -304,6 +313,50 @@ class AquomanDevice:
         self.row_selector.rows_scanned += nrows
         self.row_selector.masks_produced += -(-nrows // ROW_VECTOR_SIZE)
         return BitVector(bits)
+
+    def _select_process(
+        self, program, table: str, mask: BitVector | None, spans,
+        run_span,
+    ) -> list | None:
+        """Fan select batches out to the forked pool; None = no pool.
+
+        Batches lost to a dead worker re-run inline (chunks are pure
+        functions of their span), and an unusable pool returns None so
+        the caller falls back to the thread path.
+        """
+        from repro.engine import procpool
+
+        pool = procpool.get_process_pool(
+            self.catalog, self.config.n_workers
+        )
+        if pool is None:
+            return None
+        payload = (
+            table,
+            program,
+            self.config.n_predicate_evaluators,
+            mask.bits if mask is not None else None,
+        )
+        batches = procpool.make_batches(spans, pool.n_workers)
+        requests = [("select", payload, batch) for batch in batches]
+        try:
+            replies = pool.run(requests, procpool.batch_opts(self.tracer))
+        except procpool.PoolBroken:
+            return None
+        injector = get_fault_injector()
+        parts: list = []
+        for reply, batch in zip(replies, batches):
+            if reply.status == "lost":
+                parts.extend(run_span(span) for span in batch)
+                continue
+            procpool.absorb_obs(reply, self.tracer, injector)
+            if reply.status == "done":
+                parts.extend(reply.result)
+            else:
+                raise RuntimeError(
+                    f"select worker failed:\n{reply.message}"
+                )
+        return parts
 
     def _run_row_transformer(
         self, task: TableTask, base, mask: BitVector | None

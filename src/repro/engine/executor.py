@@ -192,17 +192,13 @@ class Engine:
 
     def _run_morsel(self, plan: Plan) -> Relation | None:
         """Stream a fragment rooted at ``plan``; None = not streamable."""
-        from repro.engine.morsel import (
-            MorselExecutor,
-            extract_fragment,
-            split_morsels,
-        )
+        from repro.engine.morsel import MorselExecutor, extract_fragment
 
         fragment = extract_fragment(plan, self.catalog)
         if fragment is None:
             return None
         nrows = self.catalog.table(fragment.scan.table).nrows
-        spans = split_morsels(nrows, self.morsels.aligned_rows())
+        spans = self.morsels.spans_for(nrows)
         if len(spans) < 2:
             return None  # single-morsel tables gain nothing
         return MorselExecutor(self, fragment).run(spans)

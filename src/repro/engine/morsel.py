@@ -6,9 +6,8 @@ Transformer, and are reduced by a Swissknife operator — nothing ever
 holds a whole base column.  This module gives the software engine the
 same shape.  A plan fragment rooted at a base-table scan is split into
 page-aligned **morsels**; each morsel runs Row Selector → transform
-chain → partial Swissknife reduction (optionally on a thread pool — the
-NumPy kernels release the GIL), and the partials merge with rules that
-keep the result bit-identical to the monolithic executor:
+chain → partial Swissknife reduction, and the partials merge with rules
+that keep the result bit-identical to the monolithic executor:
 
 - Filter/Project chains concatenate in morsel order (row-wise pure
   expressions commute with splitting);
@@ -29,11 +28,23 @@ retries on the subtree below it.
 Morsels are aligned so every column's page boundary is also a morsel
 boundary; morsels therefore touch disjoint page sets and the per-morsel
 page-skip counts add up exactly in the trace.
+
+Three ``worker_backend`` settings run the spans (all bit-identical):
+``"serial"`` runs them inline, ``"thread"`` uses the shared persistent
+thread pool (the NumPy kernels release the GIL, but Python-level
+dispatch stays serialised), and ``"process"`` dispatches span batches
+to the persistent forked worker pool in
+:mod:`repro.engine.procpool` — genuinely concurrent interpreters over
+the same (copy-on-write / page-cache-shared) column data.  The
+per-span work lives in :class:`SpanRunner`, which both the parent and
+the pool workers instantiate; partials cross the process boundary via
+:func:`pack_partial`/:func:`unpack_partial`, which serialise values
+but replace base-column string heaps with name tokens so the parent
+re-attaches its own heap objects.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,6 +86,7 @@ from repro.sqlir.plan import (
 )
 from repro.storage.column import Column
 from repro.storage.layout import PAGE_BYTES, FlashLayout
+from repro.storage.stringheap import StringHeap
 from repro.storage.types import TypeKind
 
 # An 8 KB page of 1-byte values holds 8192 rows, and every wider value
@@ -82,8 +94,20 @@ from repro.storage.types import TypeKind
 # page boundary for every column of the table.
 MORSEL_ALIGN_ROWS = PAGE_BYTES
 DEFAULT_MORSEL_ROWS = 8 * MORSEL_ALIGN_ROWS
+# The scaling bench (BENCH_morsel_scaling.json) shows 32768-row morsels
+# well ahead of 8192 at SF-0.01 — this is the default the CLI entry
+# points use where they previously hard-coded 8192.
+TUNED_MORSEL_ROWS = 4 * MORSEL_ALIGN_ROWS
+# Cap on morsels per fragment: tiny tables otherwise shatter into
+# dispatch-dominated crumbs.  Deliberately a constant (a small multiple
+# of typical worker counts), NOT a function of n_workers — fault sites
+# are named morsel/{table}/{lo}-{hi}, so span boundaries must reproduce
+# across worker counts for chaos campaigns to stay deterministic.
+MAX_FRAGMENT_MORSELS = 32
 # The software selector is not bound by the FPGA's 4-evaluator budget.
 HOST_CP_EVALUATORS = 64
+
+WORKER_BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -93,6 +117,14 @@ class MorselConfig:
     parallel: bool = True        # off = monolithic execution everywhere
     morsel_rows: int = DEFAULT_MORSEL_ROWS
     n_workers: int = 1
+    worker_backend: str = "thread"   # "serial" | "thread" | "process"
+
+    def __post_init__(self):
+        if self.worker_backend not in WORKER_BACKENDS:
+            raise ValueError(
+                f"worker_backend={self.worker_backend!r}; "
+                f"choose from {WORKER_BACKENDS}"
+            )
 
     def aligned_rows(self) -> int:
         """``morsel_rows`` rounded up to the page-alignment quantum."""
@@ -100,6 +132,20 @@ class MorselConfig:
             MORSEL_ALIGN_ROWS,
             -(-self.morsel_rows // MORSEL_ALIGN_ROWS) * MORSEL_ALIGN_ROWS,
         )
+
+    def spans_for(self, nrows: int) -> list[tuple[int, int]]:
+        """Morsel spans for a table, clamped to a bounded fan-out.
+
+        When ``nrows`` would shatter into more than
+        :data:`MAX_FRAGMENT_MORSELS` spans, the morsel size grows (page
+        aligned) until the count fits — big tables keep big, cheap
+        morsels instead of paying per-span dispatch overhead.
+        """
+        rows = self.aligned_rows()
+        if nrows > rows * MAX_FRAGMENT_MORSELS:
+            per = -(-nrows // MAX_FRAGMENT_MORSELS)
+            rows = -(-per // MORSEL_ALIGN_ROWS) * MORSEL_ALIGN_ROWS
+        return split_morsels(nrows, rows)
 
 
 def split_morsels(nrows: int, morsel_rows: int) -> list[tuple[int, int]]:
@@ -303,75 +349,62 @@ class _Partial:
     stall_s: np.ndarray | None = None
 
 
-class MorselExecutor:
-    """Runs one fragment morsel-at-a-time and merges the partials."""
+class SpanRunner:
+    """The per-span pipeline, decoupled from the parent Engine.
 
-    def __init__(self, engine, fragment: Fragment):
-        self.engine = engine
-        self.config: MorselConfig = engine.morsels
-        self.trace = engine.trace
-        self.tracer = engine.tracer
+    Holds exactly the state one morsel needs — table, flash layout,
+    fragment, column lists and a tracer — so the same code runs in the
+    parent (serial/thread backends) and inside a forked pool worker
+    (process backend), where it is rebuilt from the worker's inherited
+    catalog.
+    """
+
+    def __init__(
+        self,
+        table,
+        layout: FlashLayout,
+        fragment: Fragment,
+        scan_names: tuple[str, ...],
+        base_names: tuple[str, ...],
+        tracer,
+    ):
+        self.table = table
+        self.layout = layout
         self.fragment = fragment
-        self.table = engine.catalog.table(fragment.scan.table)
-        self.layout = engine.flash_layout()
-        self.scan_names = (
+        self.scan_names = scan_names
+        self.base_names = base_names
+        self.tracer = tracer
+
+    @classmethod
+    def for_catalog(cls, catalog, layout, fragment: Fragment, tracer):
+        table = catalog.table(fragment.scan.table)
+        scan_names = (
             fragment.scan.columns
             if fragment.scan.columns is not None
-            else tuple(self.table.column_names)
+            else tuple(table.column_names)
         )
         needed = _needed_scan_columns(fragment)
-        self.base_names = (
-            self.scan_names
+        base_names = (
+            scan_names
             if needed is None
-            else tuple(n for n in self.scan_names if n in needed)
+            else tuple(n for n in scan_names if n in needed)
         )
+        return cls(table, layout, fragment, scan_names, base_names, tracer)
 
-    # -- driver ----------------------------------------------------------------
+    def heap_names(self) -> dict[int, str]:
+        """``id(heap) -> column name`` for the scan's base heaps.
 
-    def _fragment_nodes(self) -> list[int]:
-        """Plan-node ids the fragment covers (doctor's join key).
-
-        A streamed fragment subsumes several plan nodes into one span,
-        so it advertises all of them; empty when the plan was never
-        run through ``assign_node_ids``.
+        The token map :func:`pack_partial` uses to ship heap references
+        (not heap contents) across the process boundary.
         """
-        frag = self.fragment
-        nodes = [frag.scan, *frag.steps]
-        if frag.terminal is not None:
-            nodes.append(frag.terminal)
-            if frag.kind == "topk":
-                nodes.append(frag.terminal.child)  # the Sort under Limit
-        ids = [getattr(n, "node_id", None) for n in nodes]
-        return sorted(i for i in ids if i is not None)
+        names: dict[int, str] = {}
+        for name in self.scan_names:
+            heap = self.table.column(name).heap
+            if heap is not None:
+                names[id(heap)] = name
+        return names
 
-    def run(self, spans: list[tuple[int, int]]) -> Relation:
-        with self.tracer.span(
-            "morsel.fragment",
-            table=self.table.name,
-            kind=self.fragment.kind,
-            morsels=len(spans),
-            workers=self.config.n_workers,
-            nodes=self._fragment_nodes(),
-        ) as fspan:
-            if self.config.n_workers > 1 and len(spans) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=self.config.n_workers,
-                    thread_name_prefix="morsel-worker",
-                ) as pool:
-                    partials = list(pool.map(self._run_span_safe, spans))
-            else:
-                partials = [self._run_span_safe(span) for span in spans]
-            with self.tracer.span("morsel.merge",
-                                  kind=self.fragment.kind):
-                result = self._merge(partials)
-            self._record(partials, result)
-            fspan.set(rows_out=result.nrows,
-                      bytes_out=result.nbytes())
-        return result
-
-    # -- per-morsel pipeline -----------------------------------------------------
-
-    def _run_span_safe(self, span: tuple[int, int]) -> _Partial:
+    def run_span_safe(self, span: tuple[int, int]) -> _Partial:
         """Run one morsel with crash injection and bounded re-execution.
 
         The crash strikes *before* the span does any work (the worker
@@ -520,6 +553,201 @@ class MorselExecutor:
             order = _sort_order(rel, frag.terminal.child.keys)
             return rel.take(order[: frag.terminal.count])
         return _aggregate_partial(rel, frag.terminal)
+
+
+# ---------------------------------------------------------------------------
+# Partial serialization (process backend)
+# ---------------------------------------------------------------------------
+
+
+def pack_partial(partial: _Partial, heap_names: dict[int, str]) -> tuple:
+    """Flatten a :class:`_Partial` for the worker→parent pipe.
+
+    Column values pickle as plain arrays (a view serialises only its
+    own data, never the mmap behind it).  String heaps do **not**
+    travel by content when they are base-column heaps: those become
+    ``("col", name)`` tokens the parent resolves against its own
+    catalog, so the merged relation carries the parent's heap objects
+    exactly as the thread backend would.  Expression-built heaps
+    (e.g. substring outputs) are inlined as their code-ordered string
+    list and rebuilt verbatim.
+    """
+    packed_columns = []
+    for name, arr in partial.relation.columns.items():
+        if arr.heap is None:
+            token = None
+        else:
+            base_name = heap_names.get(id(arr.heap))
+            token = (
+                ("col", base_name)
+                if base_name is not None
+                else ("inline", tuple(arr.heap.strings()))
+            )
+        packed_columns.append(
+            (name, np.ascontiguousarray(arr.values), arr.kind,
+             arr.scale, token)
+        )
+    return (
+        packed_columns,
+        partial.pages_read,
+        partial.pages_total,
+        partial.page_ids,
+        partial.stall_s,
+    )
+
+
+def unpack_partial(packed: tuple, table) -> _Partial:
+    """Rebuild a worker's :class:`_Partial` against the parent catalog."""
+    packed_columns, pages_read, pages_total, page_ids, stall_s = packed
+    columns: dict[str, TypedArray] = {}
+    for name, values, kind, scale, token in packed_columns:
+        if token is None:
+            heap = None
+        elif token[0] == "col":
+            heap = table.column(token[1]).heap
+        else:
+            heap = StringHeap()
+            for value in token[1]:
+                heap.encode(value)
+        columns[name] = TypedArray(values, kind, scale, heap)
+    return _Partial(
+        Relation(columns), pages_read, pages_total, page_ids, stall_s
+    )
+
+
+class MorselExecutor:
+    """Runs one fragment morsel-at-a-time and merges the partials."""
+
+    def __init__(self, engine, fragment: Fragment):
+        self.engine = engine
+        self.config: MorselConfig = engine.morsels
+        self.trace = engine.trace
+        self.tracer = engine.tracer
+        self.fragment = fragment
+        self.runner = SpanRunner.for_catalog(
+            engine.catalog, engine.flash_layout(), fragment, engine.tracer
+        )
+        self.table = self.runner.table
+        self.layout = self.runner.layout
+
+    # -- driver ----------------------------------------------------------------
+
+    def _fragment_nodes(self) -> list[int]:
+        """Plan-node ids the fragment covers (doctor's join key).
+
+        A streamed fragment subsumes several plan nodes into one span,
+        so it advertises all of them; empty when the plan was never
+        run through ``assign_node_ids``.
+        """
+        frag = self.fragment
+        nodes = [frag.scan, *frag.steps]
+        if frag.terminal is not None:
+            nodes.append(frag.terminal)
+            if frag.kind == "topk":
+                nodes.append(frag.terminal.child)  # the Sort under Limit
+        ids = [getattr(n, "node_id", None) for n in nodes]
+        return sorted(i for i in ids if i is not None)
+
+    def _effective_backend(self, n_spans: int) -> str:
+        if self.config.n_workers <= 1 or n_spans < 2:
+            return "serial"
+        backend = self.config.worker_backend
+        if backend == "process":
+            from repro.engine import procpool
+
+            if not procpool.process_backend_available():
+                procpool.warn_once_no_process_backend()
+                return "thread"
+        return backend
+
+    def run(self, spans: list[tuple[int, int]]) -> Relation:
+        backend = self._effective_backend(len(spans))
+        with self.tracer.span(
+            "morsel.fragment",
+            table=self.table.name,
+            kind=self.fragment.kind,
+            morsels=len(spans),
+            workers=self.config.n_workers,
+            backend=backend,
+            nodes=self._fragment_nodes(),
+        ) as fspan:
+            partials = self._execute(spans, backend)
+            with self.tracer.span("morsel.merge",
+                                  kind=self.fragment.kind):
+                result = self._merge(partials)
+            self._record(partials, result)
+            fspan.set(rows_out=result.nrows,
+                      bytes_out=result.nbytes())
+        return result
+
+    def _execute(
+        self, spans: list[tuple[int, int]], backend: str
+    ) -> list[_Partial]:
+        if backend == "process":
+            partials = self._execute_process(spans)
+            if partials is not None:
+                return partials
+            backend = "thread"  # pool unavailable: degrade gracefully
+        if backend == "thread":
+            from repro.engine.procpool import get_thread_pool
+
+            pool = get_thread_pool(self.config.n_workers)
+            return list(pool.map(self.runner.run_span_safe, spans))
+        return [self.runner.run_span_safe(span) for span in spans]
+
+    def _execute_process(
+        self, spans: list[tuple[int, int]]
+    ) -> list[_Partial] | None:
+        """Dispatch span batches to the forked pool; None = no pool.
+
+        Replies repatriate each worker's span records and fault deltas
+        before any fault is re-raised, so counters and traces match the
+        thread backend (where every submitted span still runs even
+        when one raises).  Batches lost to a dead worker re-run inline
+        — spans are pure functions of their range.
+        """
+        from repro.engine import procpool
+
+        pool = procpool.get_process_pool(
+            self.engine.catalog, self.config.n_workers
+        )
+        if pool is None:
+            return None
+        batches = procpool.make_batches(spans, pool.n_workers)
+        requests = [("morsel", self.fragment, batch) for batch in batches]
+        try:
+            replies = pool.run(requests, procpool.batch_opts(self.tracer))
+        except procpool.PoolBroken:
+            return None
+        injector = get_fault_injector()
+        partials: list[_Partial] = []
+        failure = None
+        for reply, batch in zip(replies, batches):
+            if reply.status == "lost":
+                partials.extend(
+                    self.runner.run_span_safe(span) for span in batch
+                )
+                continue
+            procpool.absorb_obs(reply, self.tracer, injector)
+            if reply.status == "done":
+                partials.extend(
+                    unpack_partial(p, self.table) for p in reply.result
+                )
+            elif reply.status == "fault":
+                if failure is None:
+                    failure = reply
+            else:  # "err": a real bug in the worker, not an injection
+                raise RuntimeError(
+                    f"morsel worker failed:\n{reply.message}"
+                )
+        if failure is not None:
+            if failure.degraded:
+                from repro.obs.server import set_degraded
+
+                info = dict(failure.degraded)
+                set_degraded(info.pop("reason", "worker fault"), **info)
+            raise UnrecoverableFault(failure.message, site=failure.site)
+        return partials
 
     # -- merge ---------------------------------------------------------------------
 

@@ -54,6 +54,7 @@ def run_campaign(
     target_sf: float = 1000.0,
     workers: int = 4,
     morsel_rows: int = 8192,
+    backend: str = "thread",
     log: Callable[[str], None] = _quiet,
 ) -> dict:
     """Run a seeds × queries chaos matrix; return the JSON report.
@@ -61,10 +62,13 @@ def run_campaign(
     The report's top-level ``verdict`` is ``"pass"`` only when every
     (query, seed) run recovered to bit-identical host *and* device
     results; any mismatch or unrecoverable fault makes it ``"fail"``.
+    Fault placement is a pure function of ``(seed, site)``, so the
+    report is identical across worker counts *and* backends.
     """
     db = tpch.generate(sf)
     morsels = MorselConfig(
-        parallel=True, morsel_rows=morsel_rows, n_workers=workers
+        parallel=True, morsel_rows=morsel_rows, n_workers=workers,
+        worker_backend=backend,
     )
     device_config = DeviceConfig(scale_ratio=target_sf / sf)
 
@@ -100,6 +104,7 @@ def run_campaign(
         "target_sf": target_sf,
         "workers": workers,
         "morsel_rows": morsel_rows,
+        "backend": backend,
         "seeds": list(seeds),
         "queries": list(queries),
         "runs": runs,

@@ -572,6 +572,7 @@ def diagnose(
     dram_gb: float = 40.0,
     workers: int = 4,
     morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    backend: str = "thread",
     host: HostConfig = HOST_S,
     ring_capacity: int | None = None,
 ) -> DoctorReport:
@@ -601,6 +602,7 @@ def diagnose(
                     parallel=True,
                     morsel_rows=morsel_rows,
                     n_workers=workers,
+                    worker_backend=backend,
                 ),
                 tracer=tracer,
             )

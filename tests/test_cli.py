@@ -51,6 +51,9 @@ class TestCli:
         code = main(
             [
                 "profile", "6", "--sf", "0.002",
+                # pinned below the tuned default so the tiny SF still
+                # fans out into worker lanes
+                "--morsel-rows", "8192",
                 "--trace-out", str(trace),
                 "--metrics-out", str(metrics),
             ]
