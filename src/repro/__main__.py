@@ -9,6 +9,12 @@ Commands:
 - ``explain``  — per-node offload decisions for one query;
 - ``analyze``  — static analysis: typecheck, suspend prediction,
   PE-program verification and morsel-safety proofs, without executing;
+- ``lint``     — concurrency & determinism lint over the runtime's own
+  source (AQ5xx): worker-context races, fork/pickle-boundary safety,
+  determinism of merge paths, ambient-state discipline; ``--strict``
+  exits 1 on findings, ``--selfcheck`` verifies the passes still catch
+  seeded violations, ``--baseline`` regenerates the suppression
+  baseline;
 - ``profile``  — run one query under the runtime tracer and export a
   ``chrome://tracing`` span timeline, Prometheus metrics and a flame
   summary (``--trace-out`` / ``--metrics-out``);
@@ -279,6 +285,35 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Concurrency & determinism lint over the repro sources."""
+    from repro.analysis.conccheck import lint_repo
+    from repro.analysis.conccheck.config import default_baseline_path
+
+    if args.selfcheck:
+        from repro.analysis.conccheck.selfcheck import run_selfcheck
+
+        ok, lines = run_selfcheck()
+        print("\n".join(lines))
+        return 0 if ok else 1
+
+    report = lint_repo(use_baseline=not args.baseline)
+    if args.baseline:
+        from repro.analysis.conccheck.report import write_baseline
+
+        entries = write_baseline(default_baseline_path(), report)
+        print(f"baseline: {default_baseline_path()} "
+              f"({len(entries)} fingerprints)")
+        return 0
+    if args.json:
+        print(report.to_json_str())
+    else:
+        print(report.format(verbose=args.verbose))
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def cmd_doctor(args) -> int:
     """Diagnose one query: critical path, bottleneck, explain-analyze."""
     from repro.obs.doctor import diagnose, report_json
@@ -511,6 +546,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AQ5xx concurrency & determinism lint of the sources",
+    )
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when the lint finds errors",
+    )
+    p_lint.add_argument(
+        "--baseline", action="store_true",
+        help="regenerate the committed suppression baseline from the "
+        "current findings",
+    )
+    p_lint.add_argument(
+        "--selfcheck", action="store_true",
+        help="verify each pass still catches its seeded violations",
+    )
+    p_lint.add_argument(
+        "--verbose", action="store_true",
+        help="also list # conc: safe suppressions and baselined "
+        "findings",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_doctor = sub.add_parser(
         "doctor",

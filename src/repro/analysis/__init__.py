@@ -28,6 +28,9 @@ import in the other direction would cycle.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from typing import Any
+
 from repro.analysis.diagnostics import (
     AnalysisReport,
     Diagnostic,
@@ -101,7 +104,7 @@ ENGINE_PASSES = ("types", "morsel")
 ALL_PASSES = ("types", "suspend", "pe", "morsel")
 
 
-def node_schemas(plan: Plan, catalog) -> dict[int, dict]:
+def node_schemas(plan: Plan, catalog: Any) -> dict[int, dict]:
     """Per-node static predictions keyed by ``node_id``.
 
     Runs :func:`assign_node_ids` (idempotent — ids are stable tree
@@ -133,8 +136,8 @@ def node_schemas(plan: Plan, catalog) -> dict[int, dict]:
 
 def analyze_plan(
     plan: Plan,
-    catalog,
-    device=None,
+    catalog: Any,
+    device: Any = None,
     passes: tuple[str, ...] | None = None,
 ) -> AnalysisReport:
     """Run the selected static passes and aggregate one report.
@@ -187,7 +190,8 @@ def analyze_plan(
     return report
 
 
-def _pe_pass(plan: Plan, catalog, device) -> list[Diagnostic]:
+def _pe_pass(plan: Plan, catalog: Any,
+             device: Any) -> list[Diagnostic]:
     """Lower every Project's computed outputs the way the Row
     Transformer would and verify the resulting PE programs."""
     from repro.core.dataflow import (
@@ -237,7 +241,7 @@ def _pe_pass(plan: Plan, catalog, device) -> list[Diagnostic]:
     return out
 
 
-def _walk_with_subqueries(plan: Plan):
+def _walk_with_subqueries(plan: Plan) -> Iterator[Plan]:
     """Preorder walk that also descends into scalar-subquery plans."""
     seen: set[int] = set()
     stack = [plan]

@@ -1,0 +1,79 @@
+"""Pass 4 — ambient-state discipline (AQ530–AQ531).
+
+The runtime's ambient singletons — the global tracer behind
+:data:`~repro.obs.spans.NULL_TRACER`, the global injector behind
+:data:`~repro.faults.injector.NULL_INJECTOR`, and the ``/healthz``
+degraded flag — are the one place worker and parent state deliberately
+meet.  The contract (DESIGN.md §10) is narrow:
+
+- worker-side code may *read* ambient state freely
+  (``get_tracer()`` / ``get_fault_injector()`` are cheap and pure),
+  but may only *install* it at the sanctioned process-worker entry
+  points, where each batch gets a fresh per-batch instance
+  (``AQ530`` otherwise);
+- worker observability crosses back to the parent **only** through
+  the repatriation APIs — :meth:`Tracer.adopt` for span records and
+  :meth:`FaultInjector.absorb` for fault deltas — and those APIs are
+  called only from the sanctioned repatriation points (``AQ531``
+  otherwise): a stray ``adopt``/``absorb`` call double-counts
+  counters and fabricates trace lanes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.conccheck.model import Project
+from repro.analysis.conccheck.report import LintDiagnostic, lint_diag
+
+__all__ = ["run_ambient_pass"]
+
+
+def run_ambient_pass(
+    project: Project,
+    worker_reachable: set[str],
+    installers: tuple[str, ...],
+    sanctioned_installers: tuple[str, ...],
+    repatriation_methods: tuple[str, ...],
+    sanctioned_repatriation: tuple[str, ...],
+) -> list[LintDiagnostic]:
+    out: list[LintDiagnostic] = []
+    installer_set = set(installers)
+    sanctioned_install = set(sanctioned_installers)
+    repatriation = set(repatriation_methods)
+    sanctioned_repat = set(sanctioned_repatriation)
+
+    for info in project.functions_in_scope(set(project.functions)):
+        mod = project.module_of(info)
+        in_worker = info.qualname in worker_reachable
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name in installer_set and in_worker and \
+                    info.qualname not in sanctioned_install and \
+                    info.name not in installer_set and \
+                    not mod.is_safe_line(node.lineno):
+                out.append(lint_diag(
+                    "AQ530",
+                    f"{name}(...) installs ambient state from "
+                    "worker-reachable code outside the sanctioned "
+                    "worker entry points — ambient singletons must "
+                    "only be swapped at batch setup/teardown",
+                    path=info.path, node=node, symbol=info.qualname,
+                ))
+            if name in repatriation and \
+                    isinstance(func, ast.Attribute) and \
+                    info.qualname not in sanctioned_repat and \
+                    not mod.is_safe_line(node.lineno):
+                out.append(lint_diag(
+                    "AQ531",
+                    f".{name}(...) repatriates worker observability "
+                    "outside the sanctioned repatriation points — "
+                    "spans and fault deltas would double-count",
+                    path=info.path, node=node, symbol=info.qualname,
+                ))
+    return out

@@ -1,0 +1,112 @@
+"""Lint configuration: roots, sanctioned points, exemptions.
+
+The configuration *is* the concurrency contract, written down: which
+functions are worker entry points, which merge/pack functions must be
+deterministic, and which functions are allowed to touch ambient state.
+Each qualname listed here is verified to exist at lint time — renaming
+``SpanRunner.run_span_safe`` without updating the contract fails the
+build with ``AQ500`` rather than silently shrinking the checked
+surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "LintConfig",
+    "default_baseline_path",
+    "default_config",
+    "package_root",
+    "repo_root",
+]
+
+DEFAULT_BASELINE = "baseline.json"
+
+
+@dataclass
+class LintConfig:
+    """Everything one :func:`~repro.analysis.conccheck.lint_project`
+    run needs besides the sources."""
+
+    package: str = "repro"
+    # Functions whose bodies execute on worker threads / forked workers.
+    worker_roots: tuple[str, ...] = ()
+    # Merge / partial-(un)pack functions: deterministic by contract.
+    result_roots: tuple[str, ...] = ()
+    # Module prefixes exempt from the wall-clock/determinism checks
+    # (observability measures time without affecting results).
+    determinism_exempt: tuple[str, ...] = ()
+    # Ambient-state installer functions (by bare name).
+    ambient_installers: tuple[str, ...] = (
+        "set_global_tracer", "set_fault_injector", "set_degraded",
+        "clear_degraded", "set_last_trace",
+    )
+    # Worker-reachable functions allowed to call the installers.
+    sanctioned_installers: tuple[str, ...] = ()
+    # Repatriation method names and their only allowed call sites.
+    repatriation_methods: tuple[str, ...] = ("adopt", "absorb")
+    sanctioned_repatriation: tuple[str, ...] = ()
+    # Attribute-call fallback: resolve a method name against every
+    # class defining it only when at most this many classes do.
+    distinctive_max_definers: int = 3
+    passes: tuple[str, ...] = (
+        "races", "boundary", "determinism", "ambient",
+    )
+    extra: dict = field(default_factory=dict)
+
+
+def repo_root() -> Path:
+    """The checkout root (the directory holding ``src/``)."""
+    return Path(__file__).resolve().parents[4]
+
+
+def package_root() -> Path:
+    return Path(__file__).resolve().parents[2]
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / DEFAULT_BASELINE
+
+
+def default_config() -> LintConfig:
+    """The committed concurrency contract for this repository."""
+    return LintConfig(
+        package="repro",
+        worker_roots=(
+            # forked process worker: batch loop and dispatcher
+            "repro.engine.procpool:_worker_main",
+            "repro.engine.procpool:_handle",
+            # shared thread pool worker loop
+            "repro.engine.procpool:SpanThreadPool._worker_loop",
+            # the per-span pipeline both backends execute
+            "repro.engine.morsel:SpanRunner.run_span_safe",
+            # the device's streamed Row Selector chunk closure
+            "repro.core.device:AquomanDevice._select_streamed"
+            ".<locals>.run_span",
+        ),
+        result_roots=(
+            "repro.engine.morsel:MorselExecutor._merge",
+            "repro.engine.morsel:MorselExecutor._merge_aggregate",
+            "repro.engine.morsel:pack_partial",
+            "repro.engine.morsel:unpack_partial",
+            "repro.engine.morsel:_concat_relations",
+            "repro.engine.procpool:absorb_obs",
+            "repro.faults.injector:FaultInjector.absorb",
+        ),
+        determinism_exempt=("repro.obs",),
+        sanctioned_installers=(
+            # process-worker batch setup/teardown
+            "repro.engine.procpool:_worker_main",
+            "repro.engine.procpool:_handle",
+            # degradation bookkeeping: the injector flips /healthz on
+            # recovery paths; workers repatriate the flag via replies
+            "repro.faults.injector:FaultInjector.charge_page_reads",
+            "repro.faults.injector:FaultInjector.record_fallback",
+            "repro.faults.injector:FaultInjector.record_unrecoverable",
+        ),
+        sanctioned_repatriation=(
+            "repro.engine.procpool:absorb_obs",
+        ),
+    )

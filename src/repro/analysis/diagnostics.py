@@ -67,7 +67,7 @@ class PlanRejected(Exception):
     """Raised by ``Engine(analyze="strict")`` when the analyzer finds
     errors; carries the full report."""
 
-    def __init__(self, report: "AnalysisReport"):
+    def __init__(self, report: "AnalysisReport") -> None:
         self.report = report
         lines = [str(d) for d in report.errors()]
         super().__init__(
@@ -156,7 +156,7 @@ def diag(
     code: str,
     severity: Severity,
     message: str,
-    node=None,
+    node: object = None,
 ) -> Diagnostic:
     """Build a diagnostic anchored at a plan node (or free-floating)."""
     return Diagnostic(

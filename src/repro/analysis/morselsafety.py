@@ -21,6 +21,7 @@ is the single source of truth for the engine's merge decision.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.typecheck import InferenceError, Kind, TypeChecker
 from repro.sqlir.expr import AggFunc, Expr, ScalarSubquery
@@ -83,7 +84,7 @@ def _has_subquery(expr: Expr) -> bool:
 
 
 def aggregate_merge_verdict(
-    plan: Aggregate, scan: Scan, steps, catalog
+    plan: Aggregate, scan: Scan, steps: Any, catalog: Any
 ) -> MergeVerdict:
     """Merge-safety verdict for an Aggregate over a scan-rooted chain.
 
@@ -171,7 +172,8 @@ def streamable_chain(node: Plan) -> tuple[Scan, tuple[Plan, ...]] | None:
     return node, tuple(steps)
 
 
-def fragment_verdicts(plan: Plan, catalog) -> list[MergeVerdict]:
+def fragment_verdicts(plan: Plan,
+                      catalog: Any) -> list[MergeVerdict]:
     """Merge verdicts for every aggregate fragment anywhere in the plan
     (including inside scalar subqueries)."""
     verdicts: list[MergeVerdict] = []

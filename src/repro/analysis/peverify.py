@@ -27,6 +27,7 @@ be checked — :class:`RawInstr` is the test fixture for that.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.diagnostics import Diagnostic, Severity, diag
 from repro.core.pe import _ALU_OPS, DEFAULT_IMEM_SIZE, N_REGISTERS, Opcode
@@ -50,10 +51,10 @@ class RawInstr:
 
 
 def verify_instructions(
-    instructions,
+    instructions: Any,
     imem_size: int | None = None,
     n_inputs: int | None = None,
-    node=None,
+    node: object = None,
 ) -> list[Diagnostic]:
     """Abstractly execute ``instructions`` and report every violation.
 
@@ -202,14 +203,16 @@ def verify_instructions(
     return out
 
 
-def verify_program(program, node=None) -> list[Diagnostic]:
+def verify_program(program: Any,
+                   node: object = None) -> list[Diagnostic]:
     """Verify a :class:`repro.core.pe.PEProgram`."""
     return verify_instructions(
         program.instructions, program.imem_size, node=node
     )
 
 
-def verify_transform_graph(graph, node=None) -> list[Diagnostic]:
+def verify_transform_graph(graph: Any,
+                           node: object = None) -> list[Diagnostic]:
     """Verify every layer program of a compiled transform graph."""
     out: list[Diagnostic] = []
     for layer in graph.layers:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Any
 
 import numpy as np
 
@@ -139,7 +140,7 @@ class SuspendPrediction:
 # ---------------------------------------------------------------------------
 
 
-def _stats_cache(catalog) -> dict:
+def _stats_cache(catalog: Any) -> dict:
     cache = getattr(catalog, "_analysis_stats_cache", None)
     if cache is None:
         cache = {}
@@ -147,7 +148,7 @@ def _stats_cache(catalog) -> dict:
     return cache
 
 
-def column_ndv(catalog, table: str, column: str) -> int:
+def column_ndv(catalog: Any, table: str, column: str) -> int:
     """Number of distinct values in a base column (cached)."""
     cache = _stats_cache(catalog)
     key = ("ndv", table, column)
@@ -160,7 +161,8 @@ def column_ndv(catalog, table: str, column: str) -> int:
     return cache[key]
 
 
-def _column_domain(catalog, table: str, column: str) -> np.ndarray:
+def _column_domain(catalog: Any, table: str,
+                   column: str) -> np.ndarray:
     """Distinct raw values of a base column, as the zipper sees them
     (heap codes for strings)."""
     cache = _stats_cache(catalog)
@@ -191,7 +193,7 @@ class Card:
 class SuspendPredictor:
     """Walks a compiled plan and predicts every real suspension."""
 
-    def __init__(self, catalog, config):
+    def __init__(self, catalog: Any, config: Any) -> None:
         self.catalog = catalog
         self.config = config
         self.checker = TypeChecker(catalog, collect=False)
@@ -517,7 +519,7 @@ class SuspendPredictor:
         expr, below = expr_source
         return self._expr_ndv_hi(expr, below)
 
-    def _key_expr(self, node: Plan, name: str):
+    def _key_expr(self, node: Plan, name: str) -> Any:
         if isinstance(node, (Filter, Sort, Limit, Distinct)):
             return self._key_expr(node.child, name)
         if isinstance(node, Project):
@@ -573,7 +575,7 @@ class SuspendPredictor:
 
     # -- cardinalities -----------------------------------------------------
 
-    def _table(self, name: str):
+    def _table(self, name: str) -> Any:
         try:
             return self.catalog.table(name)
         except KeyError:

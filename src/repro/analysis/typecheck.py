@@ -19,6 +19,7 @@ is safe to run before a single page is streamed off flash.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.diagnostics import Diagnostic, Severity, diag
 from repro.sqlir.expr import (
@@ -92,13 +93,13 @@ _FLOAT = ColumnMeta(Kind.FLOAT, 0)
 class InferenceError(Exception):
     """Static counterpart of the exception ``evaluate()`` would raise."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
 
 
-def scan_schema(table) -> Schema:
+def scan_schema(table: Any) -> Schema:
     """Static image of ``engine.relation.typed_array_from_column``."""
     schema: Schema = {}
     for name in table.column_names:
@@ -117,7 +118,7 @@ def scan_schema(table) -> Schema:
 class TypeChecker:
     """Infers per-node output schemas and collects diagnostics."""
 
-    def __init__(self, catalog, collect: bool = True):
+    def __init__(self, catalog: Any, collect: bool = True) -> None:
         self.catalog = catalog
         self.collect = collect
         self.diagnostics: list[Diagnostic] = []
@@ -125,7 +126,8 @@ class TypeChecker:
 
     # -- reporting ---------------------------------------------------------
 
-    def _emit(self, code: str, severity: Severity, message: str, node) -> None:
+    def _emit(self, code: str, severity: Severity, message: str,
+              node: object) -> None:
         if self.collect:
             self.diagnostics.append(diag(code, severity, message, node))
 
@@ -137,11 +139,13 @@ class TypeChecker:
 
     def schema_of(self, plan: Plan) -> Schema | None:
         """Output schema of ``plan``; ``None`` below an unknown table."""
+        # conc: safe — schema memo keyed by node identity; the plan
+        # tree and the memo live and die in one process
         cached = self._schemas.get(id(plan))
-        if cached is not None or id(plan) in self._schemas:
+        if cached is not None or id(plan) in self._schemas:  # conc: safe
             return cached
         schema = self._infer_node(plan)
-        self._schemas[id(plan)] = schema
+        self._schemas[id(plan)] = schema  # conc: safe — same memo
         return schema
 
     def check(self, plan: Plan) -> Schema | None:
@@ -331,7 +335,8 @@ class TypeChecker:
                 )
         return schema
 
-    def _agg_meta(self, spec, child: Schema, plan) -> ColumnMeta:
+    def _agg_meta(self, spec: Any, child: Schema,
+                  plan: object) -> ColumnMeta:
         if spec.expr is None:
             if spec.func is not AggFunc.COUNT:
                 self._emit(
@@ -384,7 +389,8 @@ class TypeChecker:
 
     # -- expression-level inference ---------------------------------------
 
-    def _expr_meta(self, expr: Expr, schema: Schema, node) -> ColumnMeta | None:
+    def _expr_meta(self, expr: Expr, schema: Schema,
+                   node: object) -> ColumnMeta | None:
         """Strict wrapper: lenient inference + diagnostics, never raises."""
         try:
             return self.infer(expr, schema, node)
@@ -392,7 +398,8 @@ class TypeChecker:
             self._emit(err.code, Severity.ERROR, err.message, node)
             return None
 
-    def infer(self, expr: Expr, schema: Schema, node=None) -> ColumnMeta:
+    def infer(self, expr: Expr, schema: Schema,
+              node: object = None) -> ColumnMeta:
         """Lenient inference: raises :class:`InferenceError` exactly
         where ``evaluate()`` would raise at runtime."""
         if isinstance(expr, ColumnRef):
@@ -454,7 +461,8 @@ class TypeChecker:
             f"cannot evaluate expression node {type(expr).__name__}",
         )
 
-    def _infer_arith(self, expr: Arith, schema: Schema, node) -> ColumnMeta:
+    def _infer_arith(self, expr: Arith, schema: Schema,
+                     node: object) -> ColumnMeta:
         left = self.infer(expr.left, schema, node)
         right = self.infer(expr.right, schema, node)
         for side, meta in (("left", left), ("right", right)):
@@ -476,7 +484,8 @@ class TypeChecker:
             return _FLOAT
         return ColumnMeta(Kind.INT, max(left.scale, right.scale))
 
-    def _infer_compare(self, expr: Compare, schema: Schema, node) -> ColumnMeta:
+    def _infer_compare(self, expr: Compare, schema: Schema,
+                       node: object) -> ColumnMeta:
         # Mirror _try_string_compare: a string literal on either side
         # forces the other side to be a heap-backed string expression.
         for column_side, literal_side in (
@@ -523,7 +532,8 @@ class TypeChecker:
             )
         return _BOOL
 
-    def _infer_in(self, expr: InList, schema: Schema, node) -> ColumnMeta:
+    def _infer_in(self, expr: InList, schema: Schema,
+                  node: object) -> ColumnMeta:
         meta = self.infer(expr.column, schema, node)
         if meta.kind is Kind.STR:
             if not meta.has_heap:
@@ -550,7 +560,8 @@ class TypeChecker:
             )
         return _BOOL
 
-    def _infer_case(self, expr: CaseWhen, schema: Schema, node) -> ColumnMeta:
+    def _infer_case(self, expr: CaseWhen, schema: Schema,
+                    node: object) -> ColumnMeta:
         self.infer(expr.condition, schema, node)
         then = self.infer(expr.then, schema, node)
         otherwise = self.infer(expr.otherwise, schema, node)
@@ -567,7 +578,8 @@ class TypeChecker:
             return _FLOAT
         return ColumnMeta(Kind.INT, max(then.scale, otherwise.scale))
 
-    def _infer_subquery(self, expr: ScalarSubquery, node) -> ColumnMeta:
+    def _infer_subquery(self, expr: ScalarSubquery,
+                        node: object) -> ColumnMeta:
         sub_schema = self.schema_of(expr.plan)
         if sub_schema is None:
             return _INT

@@ -189,6 +189,8 @@ class QueryCompiler:
             for child in node.children():
                 analyze(child)
             decision = self._decide(node, decisions, tail, subqueries)
+            # conc: safe — decision map keyed by node identity; plan
+            # and decisions stay inside the compiling process
             decisions[id(node)] = decision
             return decision
 
@@ -201,7 +203,7 @@ class QueryCompiler:
         Lets the heap-size rule see through projection aliases (Q7/Q8
         bind nation names to ``supp_nation``/``cust_nation``).
         """
-        memo = self._provenance_memo.get(id(node))
+        memo = self._provenance_memo.get(id(node))  # conc: safe — memo
         if memo is not None:
             return memo
         prov: dict[str, tuple[str, str]] = {}
@@ -224,7 +226,7 @@ class QueryCompiler:
             }
         elif node.children():
             prov = dict(self._provenance(node.children()[0]))
-        self._provenance_memo[id(node)] = prov
+        self._provenance_memo[id(node)] = prov  # conc: safe — memo
         return prov
 
     # -- analysis ----------------------------------------------------------------
@@ -235,6 +237,7 @@ class QueryCompiler:
         tail: set[int] = set()
 
         def walk(node: Plan, on_tail: bool) -> None:
+            # conc: safe — tail set keyed by node identity, same process
             tail.add(id(node)) if on_tail else None
             keeps_tail = on_tail and isinstance(node, (Sort, Limit, Project))
             for child in node.children():
@@ -254,7 +257,7 @@ class QueryCompiler:
             return OffloadDecision(True)
 
         if isinstance(node, Filter):
-            child = decisions[id(node.child)]
+            child = decisions[id(node.child)]  # conc: safe — decision map
             if not child.offloadable:
                 return OffloadDecision(
                     False, SuspendReason.UNSUPPORTED_OP,
@@ -265,7 +268,7 @@ class QueryCompiler:
             )
 
         if isinstance(node, Project):
-            child = decisions[id(node.child)]
+            child = decisions[id(node.child)]  # conc: safe — decision map
             if not child.offloadable:
                 return OffloadDecision(
                     False, SuspendReason.UNSUPPORTED_OP,
@@ -279,8 +282,8 @@ class QueryCompiler:
             return OffloadDecision(True)
 
         if isinstance(node, Join):
-            left = decisions[id(node.left)]
-            right = decisions[id(node.right)]
+            left = decisions[id(node.left)]  # conc: safe — decision map
+            right = decisions[id(node.right)]  # conc: safe — decision map
             if node.kind is JoinKind.LEFT_OUTER:
                 return OffloadDecision(
                     False, SuspendReason.UNSUPPORTED_OP,
@@ -301,7 +304,7 @@ class QueryCompiler:
 
         if isinstance(node, (Aggregate, Distinct)):
             child_node = node.children()[0]
-            child = decisions[id(child_node)]
+            child = decisions[id(child_node)]  # conc: safe — decision map
             if isinstance(node, Aggregate):
                 prov = self._provenance(child_node)
                 for spec in node.aggregates:
@@ -326,9 +329,10 @@ class QueryCompiler:
                     False, SuspendReason.UNSUPPORTED_OP,
                     "aggregate over a host-resident input",
                 )
-            if id(node) not in tail:
+            if id(node) not in tail:  # conc: safe — tail set, same proc
                 # Condition 1: the aggregate feeds more plan; device
                 # streams + pre-hashes, host accumulates and resumes.
+                # conc: safe — decision map, same process
                 decisions[id(child_node)].stream_for_assist = True
                 return OffloadDecision(
                     False,

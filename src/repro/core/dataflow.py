@@ -109,11 +109,13 @@ class GraphBuilder:
     # -- public -----------------------------------------------------------
 
     def lower(self, expr: Expr) -> Value:
+        # conc: safe — lowering memo keyed by expression identity; the
+        # expression tree and the memo never leave the process
         memoed = self._memo.get(id(expr))
         if memoed is not None:
             return memoed
         value = self._lower(expr)
-        self._memo[id(expr)] = value
+        self._memo[id(expr)] = value  # conc: safe — same memo
         return value
 
     def input_value(self, name: str) -> Value:

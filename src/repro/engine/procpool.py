@@ -53,6 +53,7 @@ import traceback
 import warnings
 import weakref
 from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable
 from multiprocessing.connection import wait as _wait_readable
 from typing import Any
 
@@ -135,7 +136,8 @@ class SpanThreadPool:
             finally:
                 done.release()
 
-    def map(self, fn, items) -> list:
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list:
         """``fn`` over ``items`` in item order, round-robin per worker.
 
         Every item completes before the first error (in item order) is
@@ -192,7 +194,7 @@ def make_batches(
     return [spans[k:k + per] for k in range(0, len(spans), per)]
 
 
-def batch_opts(tracer) -> dict:
+def batch_opts(tracer: Any) -> dict:
     """Ambient state a worker must reproduce for one batch.
 
     Fault decisions are pure functions of ``(seed, site)``, so shipping
@@ -222,7 +224,7 @@ class Reply:
     obs: dict | None = None
 
 
-def absorb_obs(reply: Reply, tracer, injector) -> None:
+def absorb_obs(reply: Reply, tracer: Any, injector: Any) -> None:
     """Merge one worker reply's spans and fault deltas into the parent."""
     obs = reply.obs
     if not obs:
@@ -243,7 +245,7 @@ def absorb_obs(reply: Reply, tracer, injector) -> None:
 class _WorkerState:
     """Per-process caches: the inherited catalog and its flash layout."""
 
-    def __init__(self, catalog):
+    def __init__(self, catalog: Any) -> None:
         from repro.storage.io import reopen_mapped_columns
 
         self.catalog = catalog
@@ -252,9 +254,9 @@ class _WorkerState:
         # (one OS page-cache copy serves every worker); the worker
         # just owns its file descriptors.
         reopen_mapped_columns(catalog)
-        self._layout = None
+        self._layout: Any = None
 
-    def layout(self):
+    def layout(self) -> Any:
         if self._layout is None:
             from repro.storage.layout import FlashLayout
 
@@ -262,14 +264,15 @@ class _WorkerState:
         return self._layout
 
 
-def _injector_from(spec) -> FaultInjector | None:
+def _injector_from(spec: tuple | None) -> FaultInjector | None:
     if spec is None:
         return None
     seed, config = spec
     return FaultInjector(FaultPlan(seed, FaultConfig(**config)))
 
 
-def _obs(tracer: Tracer | None, injector: FaultInjector | None):
+def _obs(tracer: Tracer | None,
+         injector: FaultInjector | None) -> dict | None:
     obs: dict = {}
     if tracer is not None:
         obs["records"] = [record for _, record in tracer.records()]
@@ -285,7 +288,8 @@ def _obs(tracer: Tracer | None, injector: FaultInjector | None):
     return obs or None
 
 
-def _run_morsel_batch(state: _WorkerState, fragment, spans, tracer):
+def _run_morsel_batch(state: _WorkerState, fragment: Any,
+                      spans: list, tracer: Tracer | None) -> list:
     from repro.engine.morsel import SpanRunner, pack_partial
 
     runner = SpanRunner.for_catalog(
@@ -299,7 +303,8 @@ def _run_morsel_batch(state: _WorkerState, fragment, spans, tracer):
     ]
 
 
-def _run_select_batch(state: _WorkerState, payload, spans):
+def _run_select_batch(state: _WorkerState, payload: tuple,
+                      spans: list) -> list:
     from repro.core.row_selector import RowSelector
     from repro.util.bitvector import BitVector
 
@@ -345,7 +350,7 @@ def _handle(state: _WorkerState, wid: int, msg: tuple) -> tuple:
         clear_degraded()
 
 
-def _worker_main(conn, catalog, wid: int) -> None:
+def _worker_main(conn: Any, catalog: Any, wid: int) -> None:
     # The fork copied the parent's ambient singletons; this process
     # records into fresh per-batch instances only.
     set_global_tracer(None)
@@ -387,7 +392,7 @@ class ProcessPool:
     partials plus the worker's span records and fault deltas.
     """
 
-    def __init__(self, catalog, n_workers: int):
+    def __init__(self, catalog: Any, n_workers: int) -> None:
         ctx = multiprocessing.get_context("fork")
         self.n_workers = n_workers
         self.workers: list[_Worker] = []
@@ -519,7 +524,8 @@ def warn_once_no_process_backend() -> None:
         )
 
 
-def get_process_pool(catalog, n_workers: int) -> ProcessPool | None:
+def get_process_pool(catalog: Any,
+                     n_workers: int) -> ProcessPool | None:
     """The persistent pool for ``(catalog, n_workers)``, forked lazily.
 
     Returns None when the backend is unavailable or pointless

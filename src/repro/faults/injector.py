@@ -288,6 +288,8 @@ _global_injector: FaultInjector | None = None
 def set_fault_injector(injector: FaultInjector | None) -> None:
     """Install (or clear) the process-wide ambient injector."""
     global _global_injector
+    # conc: safe — GIL-atomic reference swap; readers see old or new,
+    # never a torn value
     _global_injector = injector
 
 

@@ -67,12 +67,13 @@ _degraded: dict[str, Any] | None = None
 def set_degraded(reason: str, **info: Any) -> None:
     """Mark the process degraded (a recovery path had to run)."""
     global _degraded
+    # conc: safe — GIL-atomic reference swap (documented above)
     _degraded = {"reason": reason, **info}
 
 
 def clear_degraded() -> None:
     global _degraded
-    _degraded = None
+    _degraded = None  # conc: safe — GIL-atomic reference swap
 
 
 def get_degraded() -> dict[str, Any] | None:

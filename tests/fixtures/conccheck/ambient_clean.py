@@ -1,0 +1,11 @@
+"""Ambient-disciplined worker: reads ambient state, never installs."""
+
+
+def get_tracer():
+    return None
+
+
+def worker_entry(records):
+    tracer = get_tracer()
+    tracer.record(records)
+    return records

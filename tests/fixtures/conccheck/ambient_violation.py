@@ -1,0 +1,14 @@
+"""Seeded AQ530/AQ531 violations (lint fixture)."""
+
+
+def set_global_tracer(tracer):
+    pass
+
+
+def parent_tracer():
+    return None
+
+
+def worker_entry(tracer, records):
+    set_global_tracer(tracer)
+    parent_tracer().adopt(records)

@@ -1,0 +1,17 @@
+"""Pickle-clean dispatch: plain data ships, module-level target."""
+
+from multiprocessing import Process
+
+
+def _child_main(index):
+    return index
+
+
+def dispatch(pool, batches):
+    requests = [("morsel", batch) for batch in batches]
+    pool.run(requests)
+    return requests
+
+
+def spawn():
+    return Process(target=_child_main, args=(0,))

@@ -1,0 +1,14 @@
+"""Seeded AQ510/AQ511/AQ512/AQ513 violations (lint fixture)."""
+
+from multiprocessing import Process
+
+
+def dispatch(pool, tracer, batches):
+    def helper(batch):
+        return batch
+
+    pool.run([(lambda b: b, tracer, helper) for b in batches])
+
+
+def spawn(runner):
+    return Process(target=runner.run, args=("x",))

@@ -1,0 +1,8 @@
+"""Deterministic merge: sets only consumed through sorted()."""
+
+
+def merge(parts):
+    seen = {part for part in parts}
+    order = sorted(seen)
+    present = [part for part in order if part in seen]
+    return order, len(present)

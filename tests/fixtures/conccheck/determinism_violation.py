@@ -1,0 +1,12 @@
+"""Seeded AQ520/AQ521/AQ522/AQ523 violations (lint fixture)."""
+
+import random
+import time
+
+
+def merge(parts):
+    order = list({part for part in parts})
+    jitter = random.random()
+    stamp = time.time()
+    token = id(parts)
+    return order, jitter, stamp, token

@@ -1,0 +1,14 @@
+"""Race-free worker code: lock-guarded and worker-private writes."""
+
+import threading
+
+_CACHE = {}
+_LOCK = threading.Lock()
+
+
+def worker_entry(item):
+    with _LOCK:
+        _CACHE[item] = item
+    scratch = {}
+    scratch[item] = item
+    return scratch

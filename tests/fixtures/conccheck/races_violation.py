@@ -1,0 +1,16 @@
+"""Seeded AQ501/AQ502/AQ503 violations (lint fixture, never imported)."""
+
+_CACHE = {}
+_TOTAL = 0
+
+
+class Settings:
+    mode = "cold"
+
+
+def worker_entry(item):
+    global _TOTAL
+    _TOTAL += 1
+    _CACHE[item] = item
+    Settings.mode = "hot"
+    return item
