@@ -8,6 +8,12 @@ under a live tracer) and requires the product to stay under 2% of the
 query's runtime.  That product is deterministic where a direct A/B
 timing of millisecond-scale queries is noise-bound; the A/B ratio is
 still reported informationally, along with the enabled-mode cost.
+
+The query log gets the same treatment: one ``query_scope`` cycle with
+a log installed (context mint, plan fingerprint, metrics delta, wide
+event build + JSONL append; sampling off) is microbenchmarked per
+query, multiplied by the wide events a run emits, and the product must
+stay under 3% of the disabled runtime.
 Results land in ``BENCH_obs_overhead.json``.
 """
 
@@ -28,7 +34,11 @@ ARTIFACT = (
 REPEATS = 5
 QUERIES = (1, 6, 14)
 DISABLED_BUDGET_PCT = 2.0
+QLOG_BUDGET_PCT = 3.0
 NULL_SITE_CALLS = 200_000
+QLOG_CYCLES = 200
+# One _run_both = engine query + simulator run = two wide events.
+EVENTS_PER_RUN = 2
 
 
 def _best_of(fn, repeats=REPEATS):
@@ -59,7 +69,25 @@ def _run_both(db, plan, name, tracer):
     ).run(plan, query=name)
 
 
-def test_obs_overhead(benchmark, db):
+def _qlog_cycle_s(plan, name, tmp_path) -> float:
+    """Cost of one full wide-event cycle for this query's plan."""
+    from repro.obs.qlog import QueryLog, query_scope, set_query_log
+
+    log = QueryLog(str(tmp_path / f"{name}.qlog.jsonl"))
+    set_query_log(log)
+    try:
+        def loop():
+            for _ in range(QLOG_CYCLES):
+                with query_scope(plan, query=name, backend="serial"):
+                    pass
+
+        best = _best_of(loop)
+    finally:
+        set_query_log(None)
+    return best / QLOG_CYCLES
+
+
+def test_obs_overhead(benchmark, db, tmp_path):
     def run():
         site_ns = _null_site_ns()
         rows = {}
@@ -80,8 +108,13 @@ def test_obs_overhead(benchmark, db):
             disabled_pct = (
                 n_sites * site_ns / (disabled_s * 1e9) * 100.0
             )
+            cycle_s = _qlog_cycle_s(plan, name, tmp_path)
+            qlog_pct = (
+                EVENTS_PER_RUN * cycle_s / disabled_s * 100.0
+            )
             rows[name] = (
-                disabled_s, enabled_s, n_sites, disabled_pct
+                disabled_s, enabled_s, n_sites, disabled_pct,
+                cycle_s, qlog_pct,
             )
         return site_ns, rows
 
@@ -91,7 +124,7 @@ def test_obs_overhead(benchmark, db):
         f"Tracing overhead per query (SF-0.01, best of {REPEATS}; "
         f"null span site = {site_ns:.0f} ns)",
         ["query", "disabled ms", "enabled ms", "sites",
-         "disabled %", "enabled x"],
+         "disabled %", "qlog us/ev", "qlog %", "enabled x"],
         [
             [
                 name,
@@ -99,13 +132,16 @@ def test_obs_overhead(benchmark, db):
                 f"{e * 1e3:.1f}",
                 sites,
                 f"{pct:.3f}",
+                f"{cyc * 1e6:.1f}",
+                f"{qpct:.3f}",
                 f"{e / d:.3f}",
             ]
-            for name, (d, e, sites, pct) in rows.items()
+            for name, (d, e, sites, pct, cyc, qpct) in rows.items()
         ],
     )
 
     worst = max(rows, key=lambda n: rows[n][3])
+    worst_qlog = max(rows, key=lambda n: rows[n][5])
     ARTIFACT.write_text(
         json.dumps(
             {
@@ -114,17 +150,23 @@ def test_obs_overhead(benchmark, db):
                 "repeats_best_of": REPEATS,
                 "null_span_site_ns": site_ns,
                 "disabled_budget_pct": DISABLED_BUDGET_PCT,
+                "qlog_budget_pct": QLOG_BUDGET_PCT,
                 "worst_query": worst,
                 "worst_disabled_overhead_pct": rows[worst][3],
+                "worst_qlog_query": worst_qlog,
+                "worst_qlog_overhead_pct": rows[worst_qlog][5],
                 "per_query": {
                     name: {
                         "disabled_s": d,
                         "enabled_s": e,
                         "span_sites": sites,
                         "disabled_overhead_pct": pct,
+                        "qlog_event_s": cyc,
+                        "qlog_overhead_pct": qpct,
                         "enabled_slowdown": e / d,
                     }
-                    for name, (d, e, sites, pct) in rows.items()
+                    for name, (d, e, sites, pct, cyc, qpct)
+                    in rows.items()
                 },
             },
             indent=2,
@@ -132,9 +174,13 @@ def test_obs_overhead(benchmark, db):
         + "\n"
     )
 
-    for name, (_d, _e, sites, pct) in rows.items():
+    for name, (_d, _e, sites, pct, _cyc, qpct) in rows.items():
         assert sites > 0, f"{name}: tracer saw no instrumentation sites"
         assert pct < DISABLED_BUDGET_PCT, (
             f"{name}: {sites} disabled span sites at {site_ns:.0f} ns "
             f"each cost {pct:.3f}% of the query"
+        )
+        assert qpct < QLOG_BUDGET_PCT, (
+            f"{name}: {EVENTS_PER_RUN} wide events cost {qpct:.3f}% "
+            "of the query with the log enabled"
         )

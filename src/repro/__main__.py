@@ -28,11 +28,17 @@ Commands:
   injected flash/worker/device faults and verify every recovery path
   returns bit-identical results, emitting a JSON report; exits 1 on
   any mismatch or unrecoverable fault, for the CI chaos gate;
+- ``tracediff`` — align two query-log runs by plan fingerprint and
+  attribute the wall-time delta per critical-path bucket and span
+  prefix; ``--strict`` exits 1 on regressions beyond the noise bands;
 - ``serve``    — stdlib HTTP endpoint exposing ``/metrics``
-  (Prometheus), ``/healthz`` and ``/trace/last``.
+  (Prometheus), ``/healthz``, ``/trace/last``, ``/query-log/recent``
+  and ``/query/<id>``.
 
 ``query`` and ``evaluate`` also accept ``--trace-out``/``--metrics-out``
-to record without the profile-specific defaults.
+to record without the profile-specific defaults, and — like ``chaos``
+— ``--query-log FILE`` to append one wide event per query (add
+``--qlog-sample-k``/``--qlog-trace-dir`` for tail-sampled full traces).
 """
 
 from __future__ import annotations
@@ -48,13 +54,17 @@ from repro.engine import Engine
 from repro.engine.morsel import TUNED_MORSEL_ROWS, WORKER_BACKENDS
 from repro.obs import (
     METRICS,
+    QueryLog,
     Tracer,
     flame_summary,
     prometheus_text,
     set_global_tracer,
+    set_query_log,
     validate_chrome_trace,
+    warn_dropped_spans,
     write_chrome_trace,
 )
+from repro.perf.trace import QueryTrace
 from repro.sqlir import plan_sql
 from repro.util.units import GB, fmt_bytes
 
@@ -79,6 +89,25 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", metavar="FILE",
         help="write Prometheus text-exposition metrics",
     )
+    _add_query_log(parser)
+
+
+def _add_query_log(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--query-log", metavar="FILE",
+        help="append one wide event per query (JSONL): fingerprint, "
+        "wall time, critical-path buckets, counters, faults",
+    )
+    parser.add_argument(
+        "--qlog-sample-k", type=int, default=0, metavar="K",
+        help="tail sampling: retain full Chrome traces for the "
+        "slowest K queries (plus all faulted / suspend-mispredicted "
+        "ones); 0 disables trace retention (default)",
+    )
+    parser.add_argument(
+        "--qlog-trace-dir", metavar="DIR",
+        help="directory for tail-sampled traces (with --qlog-sample-k)",
+    )
 
 
 def _plan_of(args, db):
@@ -95,12 +124,38 @@ def _query_name(args) -> str:
 
 def _obs_tracer(args) -> Tracer | None:
     """A live tracer when any observability export was requested."""
-    if getattr(args, "trace_out", None) or getattr(
-        args, "metrics_out", None
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "query_log", None)
     ):
         METRICS.reset()
         return Tracer()
     return None
+
+
+def _install_query_log(args) -> QueryLog | None:
+    """Create + install the ambient query log when requested."""
+    path = getattr(args, "query_log", None)
+    if not path:
+        return None
+    log = QueryLog(
+        path,
+        sample_slowest_k=getattr(args, "qlog_sample_k", 0),
+        trace_dir=getattr(args, "qlog_trace_dir", None),
+    )
+    set_query_log(log)
+    return log
+
+
+def _report_query_log(log: QueryLog | None) -> None:
+    """Uninstall the ambient log and print a one-line summary."""
+    if log is None:
+        return
+    set_query_log(None)
+    log.close()
+    print(f"query log: {log.path} ({log.n_emitted} wide events)",
+          file=sys.stderr)
 
 
 def _export_obs(tracer: Tracer | None, args, **metadata) -> None:
@@ -128,27 +183,32 @@ def cmd_query(args) -> int:
     plan = _plan_of(args, db)
     name = _query_name(args)
     tracer = _obs_tracer(args)
+    qlog = _install_query_log(args)
 
-    table = Engine(db, tracer=tracer).execute(plan)
-    print(table.head(args.rows))
-    print(f"({table.nrows} rows)")
+    try:
+        engine_trace = QueryTrace(query=name)
+        table = Engine(db, engine_trace, tracer=tracer).execute(plan)
+        print(table.head(args.rows))
+        print(f"({table.nrows} rows)")
 
-    if not args.no_device:
-        config = DeviceConfig(
-            dram_bytes=int(args.dram_gb * GB),
-            scale_ratio=args.target_sf / args.sf,
-        )
-        result = AquomanSimulator(db, config, tracer=tracer).run(
-            plan, query=name
-        )
-        trace = result.trace
-        match = table.equals(result.table.renamed("result"))
-        print(
-            f"AQUOMAN: match={match} "
-            f"rows-on-device={trace.offload_fraction_rows:.0%} "
-            f"flash={fmt_bytes(trace.aquoman_flash_bytes)} "
-            f"suspended={trace.suspend_reason or 'no'}"
-        )
+        if not args.no_device:
+            config = DeviceConfig(
+                dram_bytes=int(args.dram_gb * GB),
+                scale_ratio=args.target_sf / args.sf,
+            )
+            result = AquomanSimulator(db, config, tracer=tracer).run(
+                plan, query=name
+            )
+            trace = result.trace
+            match = table.equals(result.table.renamed("result"))
+            print(
+                f"AQUOMAN: match={match} "
+                f"rows-on-device={trace.offload_fraction_rows:.0%} "
+                f"flash={fmt_bytes(trace.aquoman_flash_bytes)} "
+                f"suspended={trace.suspend_reason or 'no'}"
+            )
+    finally:
+        _report_query_log(qlog)
     _export_obs(tracer, args, query=name)
     return 0
 
@@ -158,8 +218,12 @@ def cmd_evaluate(args) -> int:
 
     db = tpch.generate(args.sf)
     tracer = _obs_tracer(args)
-    evaluation = collect_traces(db, target_sf=args.target_sf,
-                                tracer=tracer)
+    qlog = _install_query_log(args)
+    try:
+        evaluation = collect_traces(db, target_sf=args.target_sf,
+                                    tracer=tracer)
+    finally:
+        _report_query_log(qlog)
     report = evaluation.report(args.target_sf)
 
     print(f"{'query':>6} " + " ".join(f"{s:>10}" for s in report.systems))
@@ -333,6 +397,9 @@ def cmd_doctor(args) -> int:
         ring_capacity=args.ring_capacity,
     )
     print(report_json(report) if args.json else report.format())
+    warn_dropped_spans(
+        getattr(report, "n_dropped_spans", 0), "doctor"
+    )
     if args.strict and report.mispredictions:
         return 1
     return 0
@@ -377,17 +444,31 @@ def cmd_chaos(args) -> int:
         channel_stall_rate=args.channel_stall_rate,
         retry_budget=args.retry_budget,
     )
-    report = run_campaign(
-        queries,
-        seeds,
-        config,
-        sf=args.sf,
-        target_sf=args.target_sf,
-        workers=args.workers,
-        morsel_rows=args.morsel_rows,
-        backend=args.backend,
-        log=lambda line: print(f"  {line}", file=sys.stderr),
-    )
+    tracer = Tracer() if args.query_log else None
+    qlog = _install_query_log(args)
+    if tracer is not None:
+        # Ambient too, so injector fault instants join the timeline
+        # (and the wide events) alongside the engine's spans.
+        set_global_tracer(tracer)
+    try:
+        report = run_campaign(
+            queries,
+            seeds,
+            config,
+            sf=args.sf,
+            target_sf=args.target_sf,
+            workers=args.workers,
+            morsel_rows=args.morsel_rows,
+            backend=args.backend,
+            log=lambda line: print(f"  {line}", file=sys.stderr),
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            set_global_tracer(None)
+        _report_query_log(qlog)
+    if tracer is not None:
+        warn_dropped_spans(tracer.n_dropped, "chaos campaign")
     text = json.dumps(report, indent=2)
     if args.out:
         with open(args.out, "w") as fh:
@@ -406,6 +487,25 @@ def cmd_chaos(args) -> int:
         file=sys.stderr,
     )
     return 0 if report["verdict"] == "pass" else 1
+
+
+def cmd_tracediff(args) -> int:
+    """Attribute the wall-time delta between two query-log runs."""
+    import json
+
+    from repro.obs.tracediff import diff_runs, load_wide_events
+
+    diff = diff_runs(
+        load_wide_events(args.run_a),
+        load_wide_events(args.run_b),
+        rel_band=args.rel_band,
+        abs_band_ms=args.abs_band_ms,
+    )
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.format(top=args.top))
+    return 1 if args.strict and diff.regressions else 0
 
 
 def cmd_serve(args) -> int:
@@ -688,7 +788,36 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON report here instead of stdout",
     )
     _add_common(p_chaos)
+    _add_query_log(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_tracediff = sub.add_parser(
+        "tracediff",
+        help="attribute the wall-time delta between two query-log "
+        "runs per critical-path bucket and span prefix",
+    )
+    p_tracediff.add_argument("run_a", help="baseline query-log JSONL")
+    p_tracediff.add_argument("run_b", help="candidate query-log JSONL")
+    p_tracediff.add_argument(
+        "--top", type=int, default=10,
+        help="entries to print, largest |delta| first (default 10)",
+    )
+    p_tracediff.add_argument(
+        "--rel-band", type=float, default=0.10,
+        help="relative noise band before a delta counts as a "
+        "regression (default 0.10)",
+    )
+    p_tracediff.add_argument(
+        "--abs-band-ms", type=float, default=0.5,
+        help="absolute noise floor in ms (default 0.5)",
+    )
+    p_tracediff.add_argument("--json", action="store_true",
+                             help="machine-readable report")
+    p_tracediff.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any aligned query regresses beyond the bands",
+    )
+    p_tracediff.set_defaults(func=cmd_tracediff)
 
     p_serve = sub.add_parser(
         "serve", help="HTTP /metrics, /healthz and /trace/last"

@@ -41,7 +41,8 @@ class LintConfig:
     # Ambient-state installer functions (by bare name).
     ambient_installers: tuple[str, ...] = (
         "set_global_tracer", "set_fault_injector", "set_degraded",
-        "clear_degraded", "set_last_trace",
+        "clear_degraded", "set_last_trace", "set_query_context",
+        "set_query_log",
     )
     # Worker-reachable functions allowed to call the installers.
     sanctioned_installers: tuple[str, ...] = ()

@@ -41,6 +41,7 @@ from repro.engine.executor import Engine, aggregate_relation
 from repro.engine.operators.joins import inner_join_indices, semi_join_mask
 from repro.engine.relation import Relation, typed_array_from_column
 from repro.obs import METRICS, NULL_TRACER, NullTracer, Tracer
+from repro.obs.qlog import query_scope
 from repro.perf.trace import OpTrace, QueryTrace
 from repro.sqlir.expr import ColumnRef, Kind, TypedArray
 from repro.sqlir.plan import (
@@ -688,6 +689,16 @@ class AquomanSimulator:
         )
 
     def run(self, plan: Plan, query: str = "") -> SimulationResult:
+        # Own the query scope before compiling so the compile span and
+        # everything the inner HybridEngine records (a passive scope)
+        # carry this run's query id.
+        with query_scope(
+            plan, query=query, backend="device", tracer=self.tracer
+        ) as scope:
+            return self._run_scoped(plan, query, scope)
+
+    def _run_scoped(self, plan: Plan, query: str,
+                    scope) -> SimulationResult:
         with self.tracer.span("device.compile", query=query):
             compiled = self.compiler.compile(plan)
 
@@ -737,6 +748,22 @@ class AquomanSimulator:
             reasons.add(SuspendReason.GROUP_SPILL)
         trace.suspended = bool(reasons)
         trace.suspend_reason = ", ".join(sorted(r.value for r in reasons))
+
+        # Suspend verdicts vs. actuals: what the compiler predicted at
+        # plan time against what the run actually hit; a mismatch in
+        # either direction marks the query for tail-sampled retention.
+        predicted = compiled.suspend_reasons() & REAL_SUSPENSIONS
+        scope.annotate(
+            suspend={
+                "predicted": sorted(r.value for r in predicted),
+                "observed": sorted(r.value for r in reasons),
+                "mispredicted": predicted != reasons,
+            },
+            flash_bytes=meters.flash_bytes,
+            output_bytes=meters.output_bytes,
+            offload_fraction_rows=trace.offload_fraction_rows,
+            suspended=trace.suspended,
+        )
 
         return SimulationResult(
             table=relation.to_table(query or "result"),

@@ -26,6 +26,7 @@ from repro.engine.operators.joins import inner_join_indices, semi_join_mask
 from repro.engine.operators.sorting import multi_key_order
 from repro.engine.relation import Relation, typed_array_from_column
 from repro.obs import METRICS, NULL_TRACER, NullTracer, Tracer
+from repro.obs.qlog import query_scope
 from repro.perf.trace import OpTrace, QueryTrace
 from repro.sqlir.expr import (
     AggFunc,
@@ -108,13 +109,30 @@ class Engine:
         return self.execute_relation(plan).to_table(name)
 
     def execute_relation(self, plan: Plan) -> Relation:
-        self._maybe_analyze(plan)
-        if not self.tracer.enabled:
-            return self._run(plan)
-        with self.tracer.span("engine.query", query=self.trace.query):
-            return self._run(plan)
+        # The query-lifecycle scope opens before the analysis gate so
+        # the gate's span carries the query id too; when the simulator
+        # (or another engine) already owns the query, this is passive.
+        with query_scope(
+            plan,
+            query=self.trace.query,
+            backend=self.backend_name(),
+            tracer=self.tracer,
+        ) as scope:
+            self._maybe_analyze(plan, scope)
+            if not self.tracer.enabled:
+                return self._run(plan)
+            with self.tracer.span(
+                "engine.query", query=self.trace.query
+            ):
+                return self._run(plan)
 
-    def _maybe_analyze(self, plan: Plan) -> None:
+    def backend_name(self) -> str:
+        """The worker backend this engine streams morsels on."""
+        if self.morsels is not None and self.morsels.parallel:
+            return self.morsels.worker_backend
+        return "serial"
+
+    def _maybe_analyze(self, plan: Plan, scope=None) -> None:
         """Run the host-relevant static passes once per plan object.
 
         ``strict`` rejects plans with analyzer errors before any row is
@@ -137,6 +155,13 @@ class Engine:
         METRICS.counter(
             "analysis.gates_run", "plans checked before execution"
         ).inc()
+        if scope is not None:
+            codes: dict[str, int] = {}
+            for diagnostic in report.errors() + report.warnings():
+                codes[diagnostic.code] = codes.get(diagnostic.code, 0) + 1
+            scope.annotate(
+                analysis={"ok": report.ok, "codes": codes}
+            )
         if self.analyze == "strict" and not report.ok:
             raise PlanRejected(report)
         for diagnostic in report.errors() + report.warnings():

@@ -65,6 +65,11 @@ from repro.faults.injector import (
 )
 from repro.faults.plan import FaultConfig, FaultPlan
 from repro.obs import NULL_TRACER
+from repro.obs.context import (
+    QueryContext,
+    get_query_context,
+    set_query_context,
+)
 from repro.obs.server import clear_degraded, get_degraded
 from repro.obs.spans import Tracer, set_global_tracer
 
@@ -205,9 +210,11 @@ def batch_opts(tracer: Any) -> dict:
     fault = None
     if injector.enabled:
         fault = (injector.plan.seed, injector.config.to_dict())
+    ctx = get_query_context()
     return {
         "trace": bool(getattr(tracer, "enabled", False)),
         "fault": fault,
+        "ctx": ctx.to_wire() if ctx is not None else None,
     }
 
 
@@ -326,8 +333,15 @@ def _handle(state: _WorkerState, wid: int, msg: tuple) -> tuple:
     _, req_id, kind, payload, spans, opts = msg
     tracer = Tracer() if opts.get("trace") else None
     injector = _injector_from(opts.get("fault"))
+    ctx_wire = opts.get("ctx")
     set_global_tracer(tracer)
     set_fault_injector(injector)
+    # The batch header carries the parent's query identity; installing
+    # it here makes the worker's spans carry the same qid the parent
+    # stamps, so repatriated records need no rewriting.
+    set_query_context(
+        QueryContext.from_wire(ctx_wire) if ctx_wire is not None else None
+    )
     clear_degraded()
     try:
         if kind == "morsel":
@@ -347,6 +361,7 @@ def _handle(state: _WorkerState, wid: int, msg: tuple) -> tuple:
     finally:
         set_global_tracer(None)
         set_fault_injector(None)
+        set_query_context(None)
         clear_degraded()
 
 
@@ -355,6 +370,7 @@ def _worker_main(conn: Any, catalog: Any, wid: int) -> None:
     # records into fresh per-batch instances only.
     set_global_tracer(None)
     set_fault_injector(None)
+    set_query_context(None)
     clear_degraded()
     state = _WorkerState(catalog)
     while True:

@@ -28,6 +28,7 @@ from repro.engine.morsel import MorselConfig
 from repro.faults.errors import UnrecoverableFault
 from repro.faults.injector import FaultInjector, set_fault_injector
 from repro.faults.plan import FaultConfig, FaultPlan
+from repro.obs.qlog import get_query_log, set_query_log
 from repro.obs.server import clear_degraded, get_degraded
 from repro.perf.trace import QueryTrace
 
@@ -56,6 +57,7 @@ def run_campaign(
     morsel_rows: int = 8192,
     backend: str = "thread",
     log: Callable[[str], None] = _quiet,
+    tracer=None,
 ) -> dict:
     """Run a seeds × queries chaos matrix; return the JSON report.
 
@@ -64,6 +66,11 @@ def run_campaign(
     results; any mismatch or unrecoverable fault makes it ``"fail"``.
     Fault placement is a pure function of ``(seed, site)``, so the
     report is identical across worker counts *and* backends.
+
+    With ``tracer`` set (and a query log installed), every injected run
+    emits a wide event attributing its spans and faults to a query id;
+    the fault-free reference runs stay untraced so the log holds only
+    the campaign's injected runs.
     """
     db = tpch.generate(sf)
     morsels = MorselConfig(
@@ -77,17 +84,23 @@ def run_campaign(
         plan = tpch.query(number)
         name = f"q{number:02d}"
 
-        # Fault-free references, once per query, injector OFF.
+        # Fault-free references, once per query, injector OFF — and the
+        # ambient query log parked, so the log holds only injected runs.
         set_fault_injector(None)
-        ref_host = Engine(db, morsels=morsels).execute(plan)
-        ref_device = AquomanSimulator(db, device_config).run(
-            plan, query=name
-        ).table
+        qlog = get_query_log()
+        set_query_log(None)
+        try:
+            ref_host = Engine(db, morsels=morsels).execute(plan)
+            ref_device = AquomanSimulator(db, device_config).run(
+                plan, query=name
+            ).table
+        finally:
+            set_query_log(qlog)
 
         for seed in seeds:
             runs.append(_run_one(
                 db, plan, name, seed, config, morsels, device_config,
-                ref_host, ref_device,
+                ref_host, ref_device, tracer=tracer,
             ))
             log(f"{name} seed={seed}: {runs[-1]['verdict']} "
                 f"({runs[-1]['faults']['injected']} faults)")
@@ -116,7 +129,7 @@ def run_campaign(
 def _run_one(
     db, plan, name: str, seed: int, config: FaultConfig,
     morsels: MorselConfig, device_config: DeviceConfig,
-    ref_host, ref_device,
+    ref_host, ref_device, tracer=None,
 ) -> dict:
     """One (query, seed) chaos run: host + device under injection."""
     injector = FaultInjector(FaultPlan(seed, config))
@@ -125,10 +138,12 @@ def _run_one(
     record: dict = {"query": name, "seed": seed}
     try:
         host_trace = QueryTrace(query=name)
-        host = Engine(db, host_trace, morsels=morsels).execute(plan)
-        result = AquomanSimulator(db, device_config).run(
-            plan, query=name
-        )
+        host = Engine(
+            db, host_trace, morsels=morsels, tracer=tracer,
+        ).execute(plan)
+        result = AquomanSimulator(
+            db, device_config, tracer=tracer,
+        ).run(plan, query=name)
         host_match = ref_host.equals(host.renamed(ref_host.name))
         device_match = ref_device.equals(
             result.table.renamed(ref_device.name)

@@ -46,10 +46,25 @@ from repro.obs.baseline import (
     compare,
     load_records,
 )
+from repro.obs.context import (
+    QueryContext,
+    current_query_id,
+    get_query_context,
+    plan_fingerprint,
+    set_query_context,
+)
 from repro.obs.critpath import (
     CritPathAnalysis,
     analyze_records,
     analyze_tracer,
+)
+from repro.obs.qlog import (
+    QueryLog,
+    get_query_log,
+    query_scope,
+    set_query_log,
+    validate_wide_event,
+    warn_dropped_spans,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -71,6 +86,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsDelta,
     MetricsRegistry,
 )
 from repro.obs.spans import (
@@ -91,9 +107,12 @@ __all__ = [
     "DiffReport",
     "Gauge",
     "Histogram",
+    "MetricsDelta",
     "MetricsRegistry",
     "NullTracer",
     "ObsServer",
+    "QueryContext",
+    "QueryLog",
     "RunRecord",
     "Span",
     "Tracer",
@@ -103,15 +122,24 @@ __all__ = [
     "chrome_trace",
     "clear_degraded",
     "compare",
+    "current_query_id",
     "flame_summary",
     "get_degraded",
+    "get_query_context",
+    "get_query_log",
     "get_tracer",
+    "plan_fingerprint",
+    "query_scope",
     "set_degraded",
+    "set_query_context",
+    "set_query_log",
     "load_records",
     "prometheus_text",
     "set_global_tracer",
     "set_last_trace",
     "traced",
+    "validate_wide_event",
+    "warn_dropped_spans",
     "validate_chrome_trace",
     "validate_prometheus_text",
     "write_chrome_trace",

@@ -28,6 +28,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "METRICS",
+    "MetricsDelta",
     "MetricsRegistry",
 ]
 
@@ -178,6 +179,57 @@ class MetricsRegistry:
         """Zero every instrument, keeping cached references valid."""
         for m in self.instruments():
             m.reset()
+
+    def delta(self) -> "MetricsDelta":
+        """Scoped snapshot: what changed since this call.
+
+        The registry is process-wide and accumulates across queries;
+        reading raw values for a per-query report bleeds the previous
+        query's counts into the next one's ledger.  ``delta()`` records
+        a baseline and :meth:`MetricsDelta.collect` returns only the
+        movement since — instruments created after the baseline count
+        from zero, zero-movement instruments are omitted.
+        """
+        return MetricsDelta(self)
+
+
+class MetricsDelta:
+    """Baseline captured by :meth:`MetricsRegistry.delta`."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+        self._base: dict[str, float | tuple[float, int]] = {}
+        for m in registry.instruments():
+            if isinstance(m, Histogram):
+                _, hsum, count = m.snapshot()
+                self._base[m.name] = (hsum, count)
+            else:
+                self._base[m.name] = m.value
+
+    def collect(self) -> dict[str, float | dict]:
+        """Per-instrument movement since the baseline.
+
+        Counters and gauges report ``current - base``; histograms
+        report ``{"count": dcount, "sum": dsum}``.  Instruments whose
+        value did not move are dropped, so two back-to-back queries
+        report disjoint counter sets when they touch disjoint paths.
+        """
+        out: dict[str, float | dict] = {}
+        for m in self._registry.instruments():
+            if isinstance(m, Histogram):
+                base_sum, base_count = self._base.get(m.name, (0.0, 0))
+                _, hsum, count = m.snapshot()
+                dcount = count - base_count
+                if dcount or hsum != base_sum:
+                    out[m.name] = {
+                        "count": dcount, "sum": hsum - base_sum
+                    }
+            else:
+                base = self._base.get(m.name, 0.0)
+                moved = m.value - base
+                if moved:
+                    out[m.name] = moved
+        return out
 
 
 METRICS = MetricsRegistry()

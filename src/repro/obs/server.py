@@ -13,6 +13,12 @@
 ``/trace/last``
     The Chrome-trace JSON of the most recent traced query (404 until
     one ran), so a dashboard can deep-link "open last trace".
+``/query-log/recent``
+    The most recent query wide events (newest first) from the
+    in-process ring the query log publishes to.
+``/query/<id>``
+    One query's wide event by its ``query_id`` (404 when it has
+    rotated out of the ring or never ran).
 
 A :class:`~http.server.ThreadingHTTPServer` keeps a slow scraper from
 blocking the next one; all state it reads (the metrics registry, the
@@ -27,6 +33,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -40,6 +47,10 @@ __all__ = [
     "set_degraded",
     "clear_degraded",
     "get_degraded",
+    "record_wide_event",
+    "recent_wide_events",
+    "clear_wide_events",
+    "get_wide_event",
 ]
 
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -80,6 +91,43 @@ def get_degraded() -> dict[str, Any] | None:
     return _degraded
 
 
+# Ring of the most recent query wide events, for /query-log/recent and
+# /query/<id>.  Writers append whole immutable dicts; the lock guards
+# the deque's append/iterate pair (a scraper iterating while a query
+# completes would otherwise race the ring rotation).
+_RECENT_CAPACITY = 256
+_recent_events: deque[dict[str, Any]] = deque(maxlen=_RECENT_CAPACITY)
+_recent_lock = threading.Lock()
+
+
+def record_wide_event(doc: dict[str, Any]) -> None:
+    """Publish one query's wide event to the in-process ring."""
+    with _recent_lock:
+        _recent_events.append(doc)
+
+
+def clear_wide_events() -> None:
+    """Empty the ring (test isolation; a fresh serve run)."""
+    with _recent_lock:
+        _recent_events.clear()
+
+
+def recent_wide_events(limit: int = 50) -> list[dict[str, Any]]:
+    """Most recent wide events, newest first."""
+    with _recent_lock:
+        events = list(_recent_events)
+    return events[::-1][:limit]
+
+
+def get_wide_event(query_id: int) -> dict[str, Any] | None:
+    with _recent_lock:
+        events = list(_recent_events)
+    for doc in reversed(events):
+        if doc.get("query_id") == query_id:
+            return doc
+    return None
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-obs/1"
     protocol_version = "HTTP/1.1"
@@ -106,6 +154,19 @@ class _Handler(BaseHTTPRequestHandler):
             if doc is None:
                 self._reply(404, "application/json",
                             b'{"error": "no trace recorded yet"}')
+            else:
+                self._reply(200, "application/json",
+                            json.dumps(doc).encode())
+        elif path == "/query-log/recent":
+            events = recent_wide_events()
+            self._reply(200, "application/json",
+                        json.dumps({"events": events}).encode())
+        elif path.startswith("/query/"):
+            tail = path.rsplit("/", 1)[1]
+            doc = get_wide_event(int(tail)) if tail.isdigit() else None
+            if doc is None:
+                self._reply(404, "application/json",
+                            b'{"error": "no such query id"}')
             else:
                 self._reply(200, "application/json",
                             json.dumps(doc).encode())

@@ -33,6 +33,8 @@ import threading
 import time
 from typing import Any, Callable, Iterator
 
+from repro.obs import context as _qctx
+
 __all__ = [
     "NULL_TRACER",
     "NullTracer",
@@ -119,9 +121,20 @@ class Span:
         dur = t1 - self._t0
         if log.stack:
             log.stack[-1].child_ns += dur
+        ctx = _qctx.get_query_context()
+        args = self.args
+        if ctx is not None:
+            # Stamp the owning query onto the record at completion
+            # time, so every span — including worker spans repatriated
+            # by adopt() and inline re-runs after a dead worker — is
+            # attributable without call sites threading the id through.
+            if args is None:
+                args = {"qid": ctx.query_id}
+            else:
+                args.setdefault("qid", ctx.query_id)
         log.append(
             (self.name, self.lane, self._t0, dur, len(log.stack),
-             dur - self.child_ns, self.args)
+             dur - self.child_ns, args)
         )
 
 
@@ -148,6 +161,9 @@ class Tracer:
                 **args: Any) -> None:
         """Record a point event (suspension, rollback, cache clear...)."""
         log = self._thread_log()
+        ctx = _qctx.get_query_context()
+        if ctx is not None:
+            args.setdefault("qid", ctx.query_id)
         log.append(
             (name, lane, time.monotonic_ns(), INSTANT, len(log.stack),
              0, args or None)

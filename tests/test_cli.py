@@ -102,3 +102,90 @@ class TestCli:
             e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
         }
         assert "engine.query" in names
+
+
+class TestQueryLogCli:
+    def _run_log(self, tmp_path, name="qlog.jsonl", extra=()):
+        log = tmp_path / name
+        code = main([
+            "query", "6", "--sf", "0.002",
+            "--query-log", str(log), *extra,
+        ])
+        assert code == 0
+        return [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+
+    def test_query_log_events_validate(self, capsys, tmp_path):
+        from repro.obs import validate_wide_event
+
+        events = self._run_log(tmp_path)
+        # host engine run + device simulator run
+        assert [e["backend"] for e in events] == ["serial", "device"]
+        for event in events:
+            assert validate_wide_event(event) == []
+            assert event["critpath"] is not None
+        assert "query log:" in capsys.readouterr().err
+
+    def test_tail_sampling_writes_traces(self, capsys, tmp_path):
+        events = self._run_log(
+            tmp_path,
+            extra=[
+                "--qlog-sample-k", "2",
+                "--qlog-trace-dir", str(tmp_path / "traces"),
+            ],
+        )
+        kept = [e for e in events if e["trace_path"]]
+        assert kept
+        for event in kept:
+            with open(event["trace_path"]) as fh:
+                doc = json.load(fh)
+            assert validate_chrome_trace(doc) == []
+
+    def test_tracediff_self_is_clean(self, capsys, tmp_path):
+        self._run_log(tmp_path)
+        log = str(tmp_path / "qlog.jsonl")
+        assert main(["tracediff", log, log]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+        assert "+0.00ms" in out
+
+    def test_tracediff_strict_flags_inflation(self, capsys, tmp_path):
+        events = self._run_log(tmp_path)
+        inflated = tmp_path / "inflated.jsonl"
+        with open(inflated, "w") as fh:
+            for event in events:
+                event = dict(event)
+                event["wall_ms"] *= 4.0
+                fh.write(json.dumps(event) + "\n")
+        log = str(tmp_path / "qlog.jsonl")
+        assert main(["tracediff", log, str(inflated), "--strict"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tracediff_json_output(self, capsys, tmp_path):
+        self._run_log(tmp_path)
+        capsys.readouterr()  # drop the query run's own output
+        log = str(tmp_path / "qlog.jsonl")
+        assert main(["tracediff", log, log, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_regressions"] == 0
+        assert doc["total_wall_delta_ms"] == 0.0
+
+    def test_chaos_query_log(self, capsys, tmp_path):
+        from repro.obs import validate_wide_event
+
+        log = tmp_path / "chaos.jsonl"
+        code = main([
+            "chaos", "6", "--campaign", "1", "--sf", "0.002",
+            "--query-log", str(log),
+            "--out", str(tmp_path / "report.json"),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        # one host + one device event per (query, seed), refs excluded
+        assert len(events) == 2
+        for event in events:
+            assert validate_wide_event(event) == []
+            assert event["seed"] == 0

@@ -1,4 +1,4 @@
-"""The /metrics, /healthz and /trace/last HTTP endpoints."""
+"""The /metrics, /healthz, /trace/last and query-log HTTP endpoints."""
 
 import json
 import urllib.error
@@ -11,6 +11,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.server import (
     PROM_CONTENT_TYPE,
     ObsServer,
+    clear_wide_events,
+    record_wide_event,
     set_last_trace,
 )
 
@@ -77,3 +79,38 @@ class TestEndpoints:
         _get(server.url + "/metrics")
         _, _, body = _get(server.url + "/healthz")
         assert json.loads(body)["scrapes"] >= 2
+
+
+class TestQueryLogEndpoints:
+    @pytest.fixture(autouse=True)
+    def _ring(self):
+        clear_wide_events()
+        yield
+        clear_wide_events()
+
+    def test_recent_is_empty_until_a_query_runs(self, server):
+        status, _, body = _get(server.url + "/query-log/recent")
+        assert status == 200
+        assert json.loads(body) == {"events": []}
+
+    def test_recent_returns_newest_first(self, server):
+        record_wide_event({"query_id": 1, "query": "q01"})
+        record_wide_event({"query_id": 2, "query": "q06"})
+        _, _, body = _get(server.url + "/query-log/recent")
+        events = json.loads(body)["events"]
+        assert [e["query_id"] for e in events] == [2, 1]
+
+    def test_query_by_id(self, server):
+        record_wide_event({"query_id": 7, "query": "q14"})
+        status, _, body = _get(server.url + "/query/7")
+        assert status == 200
+        assert json.loads(body)["query"] == "q14"
+
+    def test_query_unknown_id_is_404(self, server):
+        status, _, body = _get(server.url + "/query/999")
+        assert status == 404
+        assert b"no such query id" in body
+
+    def test_query_non_numeric_id_is_404(self, server):
+        status, _, _ = _get(server.url + "/query/abc")
+        assert status == 404

@@ -1,0 +1,602 @@
+"""Query-lifecycle wide events: ids, scopes, sampling, tracediff.
+
+The contract under test: every span and fault instant a query produces
+carries that query's ``qid`` — across serial / thread / process
+backends, through a SIGKILL'd worker's inline re-run, and through the
+device-fault host fallback — and each query's wide event reports only
+its own metric movement (no cross-query bleed), validates against the
+checked-in JSON schema, and feeds ``repro tracediff`` attribution that
+reconciles with the measured deltas.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.engine import Engine, MorselConfig
+from repro.engine import procpool
+from repro.faults.injector import FaultInjector, set_fault_injector
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.obs import MetricsRegistry, Tracer, set_global_tracer
+from repro.obs.context import (
+    QueryContext,
+    next_query_id,
+    plan_fingerprint,
+    sql_digest,
+)
+from repro.obs.qlog import (
+    QueryLog,
+    get_query_log,
+    query_scope,
+    set_query_log,
+    validate_wide_event,
+)
+from repro.obs.spans import INSTANT
+
+CHAOS = FaultConfig(
+    page_error_rate=0.05,
+    latency_spike_rate=0.05,
+    worker_crash_rate=0.2,
+    channel_stall_rate=0.25,
+)
+
+BACKENDS = ["serial", "thread"] + (
+    ["process"] if procpool.process_backend_available() else []
+)
+
+
+@pytest.fixture()
+def qlog(tmp_path):
+    log = QueryLog(str(tmp_path / "qlog.jsonl"))
+    set_query_log(log)
+    yield log
+    set_query_log(None)
+    log.close()
+
+
+def _events(log):
+    log.close()
+    with open(log.path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def _engine(db, backend, tracer=None, workers=2):
+    if backend == "serial":
+        return Engine(db, tracer=tracer)
+    return Engine(
+        db,
+        tracer=tracer,
+        morsels=MorselConfig(
+            parallel=True, morsel_rows=8192, n_workers=workers,
+            worker_backend=backend,
+        ),
+    )
+
+
+class TestQueryContext:
+    def test_wire_roundtrip(self):
+        ctx = QueryContext(
+            query_id=7, query="q06", fingerprint="abc123",
+            backend="process", seed=3,
+        )
+        assert QueryContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_ids_are_monotonic(self):
+        first = next_query_id()
+        assert next_query_id() == first + 1
+
+    def test_fingerprint_is_structural(self):
+        # Rebuilt plan objects fingerprint identically; different
+        # queries do not (this is tracediff's alignment key).
+        assert plan_fingerprint(tpch.query(6)) == plan_fingerprint(
+            tpch.query(6)
+        )
+        assert plan_fingerprint(tpch.query(6)) != plan_fingerprint(
+            tpch.query(1)
+        )
+
+    def test_sql_digest_normalizes_whitespace(self):
+        assert sql_digest("SELECT  1") == sql_digest("select 1")
+        assert sql_digest("select 1") != sql_digest("select 2")
+
+
+class TestQueryScope:
+    def test_disabled_scope_is_passive(self, small_db):
+        assert get_query_log() is None
+        with query_scope(tpch.query(6)) as scope:
+            assert not scope.owner
+            scope.annotate(ignored=True)
+        assert scope.annotations == {}
+
+    def test_owner_emits_exactly_one_event(self, small_db, qlog):
+        plan = tpch.query(6)
+        with query_scope(plan, query="q06") as outer:
+            assert outer.owner
+            with query_scope(plan, query="q06") as inner:
+                assert not inner.owner
+                inner.annotate(dropped="yes")
+        events = _events(qlog)
+        assert len(events) == 1
+        assert events[0]["query"] == "q06"
+        assert "dropped" not in events[0]["annotations"]
+
+    def test_passive_singleton_accumulates_nothing(self, small_db, qlog):
+        plan = tpch.query(6)
+        for _ in range(2):
+            with query_scope(plan) as outer:
+                with query_scope(plan) as inner:
+                    inner.annotate(junk=1)
+        events = _events(qlog)
+        assert all(e["annotations"] == {} for e in events)
+
+    def test_event_validates_against_schema(self, small_db, qlog):
+        _engine(small_db, "serial").execute_relation(tpch.query(6))
+        for event in _events(qlog):
+            assert validate_wide_event(event) == []
+
+    def test_seed_adopted_from_ambient_injector(self, small_db, qlog):
+        injector = FaultInjector(FaultPlan(11, CHAOS))
+        set_fault_injector(injector)
+        try:
+            _engine(small_db, "serial").execute_relation(tpch.query(6))
+        finally:
+            set_fault_injector(None)
+        assert _events(qlog)[0]["seed"] == 11
+
+    def test_engine_and_simulator_each_own_one_event(
+        self, small_db, qlog
+    ):
+        plan = tpch.query(6)
+        _engine(small_db, "serial").execute_relation(plan)
+        AquomanSimulator(small_db, DeviceConfig()).run(plan, query="q06")
+        events = _events(qlog)
+        assert [e["backend"] for e in events] == ["serial", "device"]
+        assert events[0]["fingerprint"] == events[1]["fingerprint"]
+        assert events[1]["suspend"] is not None
+
+
+class TestMetricsDelta:
+    def test_back_to_back_queries_report_disjoint_counters(
+        self, small_db, qlog
+    ):
+        # The satellite-1 regression: each wide event's counter section
+        # is the movement *this* query caused, so two identical runs
+        # report identical (not cumulative) flash page counts.
+        plan = tpch.query(6)
+        config = DeviceConfig()
+        AquomanSimulator(small_db, config).run(plan, query="q06")
+        AquomanSimulator(small_db, config).run(plan, query="q06")
+        first, second = _events(qlog)
+        pages_a = first["counters"].get("device.flash_pages_read")
+        pages_b = second["counters"].get("device.flash_pages_read")
+        assert pages_a is not None and pages_a > 0
+        assert pages_b == pages_a
+
+    def test_delta_sees_only_movement(self):
+        registry = MetricsRegistry()
+        registry.counter("x.before", "pre-baseline").inc(5)
+        delta = registry.delta()
+        registry.counter("x.after", "post-baseline").inc(2)
+        registry.counter("x.before", "pre-baseline").inc(3)
+        moved = delta.collect()
+        assert moved == {"x.after": 2.0, "x.before": 3.0}
+
+    def test_histogram_delta(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x.ms", "latency")
+        hist.observe(10.0)
+        delta = registry.delta()
+        hist.observe(4.0)
+        assert delta.collect() == {"x.ms": {"count": 1, "sum": 4.0}}
+
+
+class TestQidPropagation:
+    """Satellite 4: qid on 100% of spans and fault events."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_span_carries_the_qid(self, small_db, qlog, backend):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        injector = FaultInjector(FaultPlan(0, CHAOS))
+        set_fault_injector(injector)
+        try:
+            _engine(small_db, backend, tracer=tracer).execute_relation(
+                tpch.query(6)
+            )
+        finally:
+            set_fault_injector(None)
+            set_global_tracer(None)
+        event = _events(qlog)[0]
+        records = list(tracer.records())
+        assert records
+        missing = [
+            rec[0] for _thread, rec in records
+            if (rec[6] or {}).get("qid") != event["query_id"]
+        ]
+        assert missing == []
+
+    def test_fault_instants_carry_the_qid(self, small_db, qlog):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        injector = FaultInjector(FaultPlan(0, CHAOS))
+        set_fault_injector(injector)
+        try:
+            _engine(small_db, "thread", tracer=tracer).execute_relation(
+                tpch.query(6)
+            )
+        finally:
+            set_fault_injector(None)
+            set_global_tracer(None)
+        event = _events(qlog)[0]
+        instants = [
+            rec for _thread, rec in tracer.records()
+            if rec[3] == INSTANT and rec[0].startswith("fault.")
+        ]
+        assert instants, "chaos config produced no fault instants"
+        assert all(
+            rec[6].get("qid") == event["query_id"] for rec in instants
+        )
+        assert event["faults"]["counts"]["page_errors"] > 0
+
+    @pytest.mark.skipif(
+        not procpool.process_backend_available(),
+        reason="no fork start method on this platform",
+    )
+    def test_dead_worker_inline_rerun_keeps_the_qid(
+        self, small_db, qlog
+    ):
+        pool = procpool.get_process_pool(small_db, 2)
+        victim = pool.workers[0]
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        victim.proc.join(timeout=5.0)
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        try:
+            _engine(
+                small_db, "process", tracer=tracer
+            ).execute_relation(tpch.query(6))
+        finally:
+            set_global_tracer(None)
+        event = _events(qlog)[0]
+        unstamped = [
+            rec[0] for _thread, rec in tracer.records()
+            if (rec[6] or {}).get("qid") != event["query_id"]
+        ]
+        assert unstamped == []
+
+    def test_device_fault_fallback_keeps_the_qid(self, small_db, qlog):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        injector = FaultInjector(
+            FaultPlan(0, FaultConfig(device_fault_rate=1.0))
+        )
+        set_fault_injector(injector)
+        try:
+            AquomanSimulator(
+                small_db, DeviceConfig(), tracer=tracer
+            ).run(tpch.query(6), query="q06")
+        finally:
+            set_fault_injector(None)
+            set_global_tracer(None)
+        event = _events(qlog)[0]
+        assert event["faults"]["counts"]["host_fallbacks"] >= 1
+        fallbacks = [
+            rec for _thread, rec in tracer.records()
+            if rec[0] == "fault.fallback"
+        ]
+        assert fallbacks
+        assert all(
+            rec[6].get("qid") == event["query_id"] for rec in fallbacks
+        )
+
+
+class TestBitIdentityWithQueryLog:
+    """Enabling the query log must not change a single output bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, small_db):
+        return {
+            n: Engine(small_db).execute_relation(tpch.query(n))
+            for n in tpch.ALL_QUERIES
+        }
+
+    def test_all_queries_serial(self, small_db, reference, tmp_path):
+        from test_procpool import assert_identical
+
+        log = QueryLog(str(tmp_path / "qlog.jsonl"))
+        set_query_log(log)
+        try:
+            for n in sorted(tpch.ALL_QUERIES):
+                out = Engine(small_db).execute_relation(tpch.query(n))
+                assert_identical(out, reference[n])
+        finally:
+            set_query_log(None)
+            log.close()
+        assert log.n_emitted == len(tpch.ALL_QUERIES)
+
+    @pytest.mark.parametrize("backend", [
+        b for b in BACKENDS if b != "serial"
+    ])
+    @pytest.mark.parametrize("n", [1, 6, 14])
+    def test_parallel_backends(
+        self, small_db, reference, tmp_path, backend, n
+    ):
+        from test_procpool import assert_identical
+
+        log = QueryLog(str(tmp_path / "qlog.jsonl"))
+        set_query_log(log)
+        tracer = Tracer()
+        try:
+            out = _engine(
+                small_db, backend, tracer=tracer
+            ).execute_relation(tpch.query(n))
+        finally:
+            set_query_log(None)
+            log.close()
+        assert_identical(out, reference[n])
+
+
+class TestTailSampling:
+    def _doc(self, qid, wall_ms, faults=None, mispredicted=False):
+        return {
+            "query_id": qid,
+            "query": f"q{qid:02d}",
+            "fingerprint": "f" * 16,
+            "wall_ms": wall_ms,
+            "spans_dropped": 0,
+            "faults": faults,
+            "suspend": {"mispredicted": mispredicted},
+        }
+
+    def _records(self):
+        return [
+            ("main", ("engine.query", None, 1000, 500, 0, 500, None)),
+        ]
+
+    def test_slowest_k_retention_and_eviction(self, tmp_path):
+        log = QueryLog(
+            str(tmp_path / "qlog.jsonl"),
+            sample_slowest_k=1,
+            trace_dir=str(tmp_path / "traces"),
+        )
+        kept = log.maybe_retain_trace(
+            self._doc(1, 10.0), self._records(), 0
+        )
+        assert kept and os.path.exists(kept)
+        # Faster query loses the k=1 contest: no trace written.
+        assert log.maybe_retain_trace(
+            self._doc(2, 1.0), self._records(), 0
+        ) is None
+        # Slower query wins and evicts the previous champion's file.
+        winner = log.maybe_retain_trace(
+            self._doc(3, 20.0), self._records(), 0
+        )
+        assert winner and os.path.exists(winner)
+        assert not os.path.exists(kept)
+
+    def test_faulted_and_mispredicted_always_kept(self, tmp_path):
+        log = QueryLog(
+            str(tmp_path / "qlog.jsonl"),
+            sample_slowest_k=1,
+            trace_dir=str(tmp_path / "traces"),
+        )
+        slow = log.maybe_retain_trace(
+            self._doc(1, 100.0), self._records(), 0
+        )
+        faulted = log.maybe_retain_trace(
+            self._doc(2, 0.1, faults={"counts": {"page_errors": 1}}),
+            self._records(), 0,
+        )
+        mispred = log.maybe_retain_trace(
+            self._doc(3, 0.1, mispredicted=True), self._records(), 0
+        )
+        # Fast but interesting queries are retained and never evict
+        # (or get evicted by) the slowest-k population.
+        assert faulted and os.path.exists(faulted)
+        assert mispred and os.path.exists(mispred)
+        assert slow and os.path.exists(slow)
+
+    def test_sampling_off_retains_nothing(self, tmp_path):
+        log = QueryLog(str(tmp_path / "qlog.jsonl"))
+        assert not log.sampling_enabled()
+        assert log.maybe_retain_trace(
+            self._doc(1, 10.0), self._records(), 0
+        ) is None
+
+    def test_retained_trace_is_valid_chrome_json(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        log = QueryLog(
+            str(tmp_path / "qlog.jsonl"),
+            sample_slowest_k=1,
+            trace_dir=str(tmp_path / "traces"),
+        )
+        path = log.maybe_retain_trace(
+            self._doc(1, 10.0), self._records(), 0
+        )
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["query_id"] == 1
+
+
+class TestWideEventContent:
+    def test_critpath_buckets_sum_to_path(self, small_db, qlog):
+        tracer = Tracer()
+        _engine(small_db, "thread", tracer=tracer).execute_relation(
+            tpch.query(6)
+        )
+        event = _events(qlog)[0]
+        critpath = event["critpath"]
+        assert critpath is not None
+        total = sum(critpath["buckets"].values())
+        assert total == pytest.approx(critpath["path_ms"], abs=1e-3)
+        assert critpath["path_ms"] <= event["wall_ms"] * 1.01
+
+    def test_spans_dropped_recorded_and_warned(
+        self, small_db, qlog, capsys
+    ):
+        tracer = Tracer(ring_capacity=4)
+        _engine(small_db, "serial", tracer=tracer).execute_relation(
+            tpch.query(6)
+        )
+        event = _events(qlog)[0]
+        assert event["spans_dropped"] > 0
+        assert "spans dropped by ring wrap-around" in (
+            capsys.readouterr().err
+        )
+
+    def test_analysis_annotation_lands_in_the_event(
+        self, small_db, qlog
+    ):
+        engine = Engine(small_db, analyze="warn")
+        engine.execute_relation(tpch.query(6))
+        event = _events(qlog)[0]
+        assert event["analysis"] is not None
+        assert event["analysis"]["ok"] is True
+
+
+class TestTraceDiff:
+    def _event(self, fp, query, wall_ms, buckets, qid=1):
+        path_ms = sum(buckets.values())
+        return {
+            "query_id": qid,
+            "query": query,
+            "fingerprint": fp,
+            "wall_ms": wall_ms,
+            "critpath": {
+                "path_ms": path_ms,
+                "bottleneck": max(buckets, key=buckets.get),
+                "buckets": buckets,
+                "top_spans": [
+                    [f"{b}.work", b, ms] for b, ms in buckets.items()
+                ],
+            },
+        }
+
+    def _run(self, scale=1.0, extra_host=0.0):
+        events = []
+        for qid, (fp, query, wall, buckets) in enumerate([
+            ("a" * 16, "q01", 10.0,
+             {"host": 6.0, "flash_io": 3.0, "device": 1.0}),
+            ("b" * 16, "q06", 4.0,
+             {"host": 1.0, "swissknife": 2.5, "device": 0.5}),
+        ], start=1):
+            scaled = {
+                k: v * scale + (extra_host if k == "host" else 0.0)
+                for k, v in buckets.items()
+            }
+            events.append(self._event(
+                fp, query, wall * scale + extra_host, scaled, qid=qid
+            ))
+        return events
+
+    def test_self_diff_is_zero(self):
+        from repro.obs.tracediff import diff_runs
+
+        diff = diff_runs(self._run(), self._run())
+        assert diff.total_wall_delta_ms == 0.0
+        assert diff.total_attributed_ms == 0.0
+        assert diff.regressions == []
+
+    def test_inflation_lands_in_the_right_bucket(self):
+        from repro.obs.tracediff import diff_runs
+
+        diff = diff_runs(self._run(), self._run(extra_host=5.0))
+        assert len(diff.regressions) == 2
+        for entry in diff.entries:
+            worst = max(
+                entry.bucket_delta_ms, key=entry.bucket_delta_ms.get
+            )
+            assert worst == "host"
+            assert entry.bucket_delta_ms["host"] == pytest.approx(5.0)
+            assert entry.attributed_ms == pytest.approx(
+                entry.wall_delta_ms
+            )
+
+    def test_noise_band_suppresses_small_deltas(self):
+        from repro.obs.tracediff import diff_runs
+
+        diff = diff_runs(self._run(), self._run(scale=1.02))
+        assert diff.regressions == []
+
+    def test_unaligned_fingerprints_are_reported(self):
+        from repro.obs.tracediff import diff_runs
+
+        a = self._run()
+        b = self._run()[:1]
+        b.append(self._event("c" * 16, "q14", 2.0, {"host": 2.0}))
+        diff = diff_runs(a, b)
+        assert diff.only_a == ["b" * 16]
+        assert diff.only_b == ["c" * 16]
+
+    def test_repeats_aggregate_by_median(self):
+        from repro.obs.tracediff import diff_runs, summarize
+
+        repeats = []
+        for wall in (10.0, 11.0, 30.0):  # 30 is the outlier
+            repeats.append(self._event(
+                "a" * 16, "q01", wall, {"host": wall}
+            ))
+        summary = summarize(repeats)["a" * 16]
+        assert summary.n_events == 3
+        assert summary.wall_ms == 11.0
+        diff = diff_runs(repeats, repeats)
+        assert diff.total_wall_delta_ms == 0.0
+
+    def test_event_without_critpath_still_diffs_wall(self):
+        from repro.obs.tracediff import diff_runs
+
+        bare_a = [{
+            "query_id": 1, "query": "q01",
+            "fingerprint": "a" * 16, "wall_ms": 10.0,
+            "critpath": None,
+        }]
+        bare_b = [dict(bare_a[0], wall_ms=20.0)]
+        diff = diff_runs(bare_a, bare_b)
+        assert diff.entries[0].wall_delta_ms == pytest.approx(10.0)
+        assert diff.entries[0].bucket_delta_ms == {}
+        assert diff.regressions
+
+
+class TestThreadVsProcessAttribution:
+    """Acceptance: per-bucket deltas reconcile with measured wall."""
+
+    @pytest.mark.skipif(
+        not procpool.process_backend_available(),
+        reason="no fork start method on this platform",
+    )
+    def test_attributed_delta_matches_path_delta(
+        self, small_db, tmp_path
+    ):
+        from repro.obs.tracediff import diff_runs, load_wide_events
+
+        logs = {}
+        for backend in ("thread", "process"):
+            log = QueryLog(str(tmp_path / f"{backend}.jsonl"))
+            set_query_log(log)
+            try:
+                for n in (1, 6):
+                    tracer = Tracer()
+                    _engine(
+                        small_db, backend, tracer=tracer
+                    ).execute_relation(tpch.query(n))
+            finally:
+                set_query_log(None)
+                log.close()
+            logs[backend] = log.path
+        diff = diff_runs(
+            load_wide_events(logs["thread"]),
+            load_wide_events(logs["process"]),
+        )
+        assert len(diff.entries) == 2
+        for entry in diff.entries:
+            # Buckets partition the critical path, so their summed
+            # delta equals the path delta to rounding.
+            assert entry.attributed_ms == pytest.approx(
+                entry.path_delta_ms, abs=1e-3
+            )
