@@ -31,9 +31,16 @@ Commands:
 - ``tracediff`` — align two query-log runs by plan fingerprint and
   attribute the wall-time delta per critical-path bucket and span
   prefix; ``--strict`` exits 1 on regressions beyond the noise bands;
-- ``serve``    — stdlib HTTP endpoint exposing ``/metrics``
-  (Prometheus), ``/healthz``, ``/trace/last``, ``/query-log/recent``
-  and ``/query/<id>``.
+- ``serve``    — stdlib HTTP endpoint exposing every route in
+  :data:`repro.obs.server.ROUTES` (Prometheus scrape, health,
+  windowed time-series JSON, SLO burn-rate status, a self-contained
+  HTML dashboard, traces and the query log); a background sampler and
+  SLO engine run by default (``--sample-interval 0`` / ``--no-slo``
+  disable them);
+- ``top``      — curses-free ANSI terminal view of the same fleet
+  signals (QPS, rolling p50/p99 per backend, fault rate, SLO status,
+  slowest recent queries), polling a served URL or ``--demo``
+  in-process data.
 
 ``query`` and ``evaluate`` also accept ``--trace-out``/``--metrics-out``
 to record without the profile-specific defaults, and — like ``chaos``
@@ -509,9 +516,22 @@ def cmd_tracediff(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Serve /metrics, /healthz and /trace/last over stdlib HTTP."""
+    """Serve every obs route over stdlib HTTP, sampling by default."""
+    import threading
+
     from repro.obs import chrome_trace
-    from repro.obs.server import ObsServer, set_last_trace
+    from repro.obs.server import ObsServer, route_summary, set_last_trace
+    from repro.obs.slo import (
+        BurnWindows,
+        SloEngine,
+        default_objectives,
+        set_slo_engine,
+    )
+    from repro.obs.timeseries import (
+        Sampler,
+        TimeSeriesStore,
+        set_timeseries,
+    )
 
     from repro.engine.morsel import MorselConfig
 
@@ -522,6 +542,12 @@ def cmd_serve(args) -> int:
     METRICS.reset()
     tracer = Tracer()
     set_global_tracer(tracer)
+    # An in-memory query log (no JSONL) feeds the wide-event ring and
+    # the query.* fleet instruments the rings and SLOs read.
+    set_query_log(QueryLog(args.query_log))
+    sampler = None
+    stop_loop = threading.Event()
+    loop_thread = None
     try:
         engine = Engine(
             db,
@@ -530,9 +556,11 @@ def cmd_serve(args) -> int:
                 parallel=True, morsel_rows=TUNED_MORSEL_ROWS
             ),
         )
-        for number in warm:
+
+        def run_warm(number: int) -> None:
             plan = tpch.query(number)
             t0 = time.monotonic_ns()
+            engine.trace.query = f"q{number:02d}"
             with tracer.span("serve.warm", query=f"q{number:02d}"):
                 engine.execute_relation(plan)
             METRICS.counter(
@@ -541,14 +569,49 @@ def cmd_serve(args) -> int:
             METRICS.histogram(
                 "serve.warm_ms", "warm query wall time (ms)"
             ).observe((time.monotonic_ns() - t0) / 1e6)
+
+        for number in warm:
+            run_warm(number)
         if warm:
             set_last_trace(chrome_trace(
                 tracer, metadata={"warm_queries": warm, "sf": args.sf}
             ))
 
+        if args.sample_interval > 0:
+            store = TimeSeriesStore(METRICS)
+            set_timeseries(store)
+            engine_slo = None
+            if not args.no_slo:
+                engine_slo = SloEngine(
+                    store,
+                    default_objectives(p99_ms=args.slo_p99_ms),
+                    BurnWindows(),
+                )
+                set_slo_engine(engine_slo)
+            sampler = Sampler(
+                store, interval_s=args.sample_interval,
+                slo_engine=engine_slo,
+            ).start()
+
+        if args.loop and warm:
+            # Replay the warm queries forever so the dashboard and SLO
+            # windows have live traffic to show.
+            def replay() -> None:
+                while not stop_loop.is_set():
+                    for number in warm:
+                        if stop_loop.is_set():
+                            return
+                        run_warm(number)
+                    stop_loop.wait(args.loop_interval)
+
+            loop_thread = threading.Thread(
+                target=replay, name="serve-loop", daemon=True
+            )
+            loop_thread.start()
+
         server = ObsServer(host=args.host, port=args.port)
         print(f"serving on {server.url}  "
-              "(/metrics /healthz /trace/last; Ctrl-C stops)")
+              f"({route_summary()}; Ctrl-C stops)")
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -556,8 +619,71 @@ def cmd_serve(args) -> int:
         finally:
             server.stop()
     finally:
+        stop_loop.set()
+        if loop_thread is not None:
+            loop_thread.join(timeout=5)
+        if sampler is not None:
+            sampler.stop()
+        from repro.obs.slo import set_slo_engine as _set_slo
+        from repro.obs.timeseries import set_timeseries as _set_ts
+
+        _set_slo(None)
+        _set_ts(None)
+        set_query_log(None)
         set_global_tracer(None)
     return 0
+
+
+def cmd_top(args) -> int:
+    """Terminal fleet view over a served or in-process registry."""
+    from repro.obs.top import (
+        run_top,
+        snapshot_from_http,
+        snapshot_local,
+    )
+
+    iterations = 1 if args.once else args.iterations
+    color = not args.no_color
+    if not args.demo:
+        return run_top(
+            lambda: snapshot_from_http(args.url, args.window),
+            interval_s=args.interval,
+            iterations=iterations,
+            color=color,
+        )
+
+    # Demo mode: run a handful of queries in-process and render from
+    # the local store — no server needed.
+    from repro.engine.morsel import MorselConfig
+    from repro.obs.slo import BurnWindows, SloEngine, default_objectives
+    from repro.obs.timeseries import TimeSeriesStore
+
+    METRICS.reset()
+    set_query_log(QueryLog(None))
+    try:
+        db = tpch.generate(args.sf)
+        engine = Engine(
+            db,
+            morsels=MorselConfig(
+                parallel=True, morsel_rows=TUNED_MORSEL_ROWS
+            ),
+        )
+        store = TimeSeriesStore(METRICS)
+        slo = SloEngine(store, default_objectives(),
+                        BurnWindows(short_s=5.0, long_s=30.0))
+        for _ in range(3):
+            for number in (1, 6):
+                engine.trace.query = f"q{number:02d}"
+                engine.execute_relation(tpch.query(number))
+            store.sample()
+        return run_top(
+            lambda: snapshot_local(store, slo, args.window),
+            interval_s=args.interval,
+            iterations=iterations if iterations else 1,
+            color=color,
+        )
+    finally:
+        set_query_log(None)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -819,8 +945,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_tracediff.set_defaults(func=cmd_tracediff)
 
+    from repro.obs.server import route_summary
+
     p_serve = sub.add_parser(
-        "serve", help="HTTP /metrics, /healthz and /trace/last"
+        "serve",
+        help=f"HTTP {route_summary()}",
+        description="Serve the observability endpoints: "
+        + route_summary(),
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=9463)
@@ -833,7 +964,73 @@ def main(argv: list[str] | None = None) -> int:
         "--sf", type=float, default=0.01,
         help="functional TPC-H scale factor (default 0.01)",
     )
+    p_serve.add_argument(
+        "--sample-interval", type=float, default=1.0, metavar="S",
+        help="time-series sampler cadence in seconds; 0 disables the "
+        "sampler, /timeseries and /dashboard (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--slo-p99-ms", type=float, default=250.0, metavar="MS",
+        help="latency-SLO threshold: fraction of queries above this "
+        "drives the burn rate (default 250)",
+    )
+    p_serve.add_argument(
+        "--no-slo", action="store_true",
+        help="sample without evaluating SLO objectives",
+    )
+    p_serve.add_argument(
+        "--loop", action="store_true",
+        help="replay the --warm queries forever on a background "
+        "thread, so the dashboard shows live traffic",
+    )
+    p_serve.add_argument(
+        "--loop-interval", type=float, default=1.0, metavar="S",
+        help="pause between --loop replay rounds (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--query-log", metavar="FILE", default=None,
+        help="also append wide events to FILE (JSONL); without it the "
+        "query log stays in-memory (ring + fleet metrics only)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal fleet view (QPS, p50/p99, SLOs)"
+    )
+    p_top.add_argument(
+        "--url", default="http://127.0.0.1:9463",
+        help="base URL of a running `repro serve` (default "
+        "http://127.0.0.1:9463)",
+    )
+    p_top.add_argument(
+        "--window", type=float, default=60.0, metavar="S",
+        help="rolling window in seconds (default 60)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="repaint interval in seconds (default 2.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (pipe-friendly)",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-color", action="store_true",
+        help="plain text without ANSI styling",
+    )
+    p_top.add_argument(
+        "--demo", action="store_true",
+        help="no server: run a few queries in-process and show them",
+    )
+    p_top.add_argument(
+        "--sf", type=float, default=0.001,
+        help="--demo scale factor (default 0.001)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -42,7 +42,7 @@ class LintConfig:
     ambient_installers: tuple[str, ...] = (
         "set_global_tracer", "set_fault_injector", "set_degraded",
         "clear_degraded", "set_last_trace", "set_query_context",
-        "set_query_log",
+        "set_query_log", "set_timeseries", "set_slo_engine",
     )
     # Worker-reachable functions allowed to call the installers.
     sanctioned_installers: tuple[str, ...] = ()
@@ -86,6 +86,9 @@ def default_config() -> LintConfig:
             # the device's streamed Row Selector chunk closure
             "repro.core.device:AquomanDevice._select_streamed"
             ".<locals>.run_span",
+            # the time-series sampler thread (rollup-ring writes)
+            "repro.obs.timeseries:Sampler._loop",
+            "repro.obs.timeseries:Sampler.tick",
         ),
         result_roots=(
             "repro.engine.morsel:MorselExecutor._merge",
@@ -106,6 +109,9 @@ def default_config() -> LintConfig:
             "repro.faults.injector:FaultInjector.charge_page_reads",
             "repro.faults.injector:FaultInjector.record_fallback",
             "repro.faults.injector:FaultInjector.record_unrecoverable",
+            # SLO transitions flip the same degraded flag from the
+            # sampler thread (fire → set, drain → clear)
+            "repro.obs.slo:SloEngine._sync_degraded",
         ),
         sanctioned_repatriation=(
             "repro.engine.procpool:absorb_obs",

@@ -26,8 +26,19 @@ this package is to the Python runtime's *actual* behaviour:
     JSONL run-record store plus the median-of-N, noise-aware
     comparator behind ``python -m repro perf diff``.
 ``server``
-    Stdlib HTTP endpoint (``/metrics``, ``/healthz``, ``/trace/last``)
-    behind ``python -m repro serve``.
+    Stdlib HTTP endpoint behind ``python -m repro serve`` — every
+    path in :data:`~repro.obs.server.ROUTES` (metrics scrape, health,
+    time-series JSON, SLO status, HTML dashboard, traces, query log).
+``timeseries`` / ``slo``
+    The fleet signal plane: a background sampler folds the registry
+    into bounded multi-resolution rollup rings (rates, last-values,
+    mergeable histogram bucket-deltas → windowed percentiles), and the
+    SLO engine evaluates declarative objectives as multi-window burn
+    rates over those rings, flipping the server's degraded flag.
+``dashboard`` / ``top``
+    Pure renderers over the same data: a self-contained HTML page with
+    inline SVG sparklines, and the ANSI terminal view behind
+    ``python -m repro top``.
 
 Layering: this package imports nothing from the rest of ``repro`` (the
 executors, storage and analysis import *us*), so it can be threaded
@@ -76,10 +87,29 @@ from repro.obs.export import (
 )
 from repro.obs.server import (
     ObsServer,
+    ROUTES,
     clear_degraded,
     get_degraded,
+    route_summary,
     set_degraded,
     set_last_trace,
+)
+from repro.obs.slo import (
+    BurnWindows,
+    LatencySLO,
+    RatioSLO,
+    SloEngine,
+    default_objectives,
+    get_slo_engine,
+    set_slo_engine,
+    validate_slo_doc,
+)
+from repro.obs.timeseries import (
+    Sampler,
+    TimeSeriesStore,
+    get_timeseries,
+    set_timeseries,
+    validate_timeseries_doc,
 )
 from repro.obs.metrics import (
     METRICS,
@@ -100,8 +130,15 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "BurnWindows",
+    "LatencySLO",
     "METRICS",
     "NULL_TRACER",
+    "ROUTES",
+    "RatioSLO",
+    "Sampler",
+    "SloEngine",
+    "TimeSeriesStore",
     "Counter",
     "CritPathAnalysis",
     "DiffReport",
@@ -133,11 +170,19 @@ __all__ = [
     "set_degraded",
     "set_query_context",
     "set_query_log",
+    "default_objectives",
+    "get_slo_engine",
+    "get_timeseries",
     "load_records",
     "prometheus_text",
+    "route_summary",
     "set_global_tracer",
     "set_last_trace",
+    "set_slo_engine",
+    "set_timeseries",
     "traced",
+    "validate_slo_doc",
+    "validate_timeseries_doc",
     "validate_wide_event",
     "warn_dropped_spans",
     "validate_chrome_trace",

@@ -1,0 +1,410 @@
+"""Self-contained HTML dashboard over the rollup rings.
+
+``/dashboard`` returns one HTML document with zero external assets —
+styles are an inline ``<style>`` block, charts are inline SVG
+sparklines — so it renders from an air-gapped lab box or a saved
+``curl`` output alike.  A ``<meta http-equiv="refresh">`` keeps it
+live without JavaScript.
+
+Visual rules follow the repo-wide chart conventions: colors are CSS
+custom properties with a ``prefers-color-scheme`` dark block (dark is
+its own stepped palette, not an automatic flip); series colors carry
+identity only (text always wears ink tokens); the p50/p99 tile — the
+one two-series chart — gets a small legend; status (SLO firing,
+degraded) is always icon + label, never color alone; one value axis
+per chart, labeled by min/max hints rather than gridlines.
+
+Pure functions only — the module renders strings from the structures
+it is handed and holds no state, so tests cover it without a server.
+
+Layering: imports sibling ``obs`` modules only, never the engine.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any
+
+from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = ["render_dashboard", "render_sparkline"]
+
+# Palette roles (light, dark): chart surface, inks, two series slots
+# and the fixed status colors.  Declared once as CSS custom properties;
+# every element references roles, never raw hex.
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+.grid {
+  display: grid; gap: 16px;
+  grid-template-columns: repeat(auto-fill, minmax(280px, 1fr));
+}
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px;
+}
+.tile h2 {
+  font-size: 12px; font-weight: 600; letter-spacing: 0.02em;
+  text-transform: uppercase; color: var(--text-secondary);
+  margin: 0 0 6px;
+}
+.hero { font-size: 28px; font-weight: 600; }
+.unit { font-size: 13px; color: var(--text-muted); margin-left: 4px; }
+.hint { color: var(--text-muted); font-size: 12px; margin-top: 4px; }
+.legend {
+  display: flex; gap: 12px; font-size: 12px;
+  color: var(--text-secondary); margin-top: 6px;
+}
+.legend .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 4px; vertical-align: -1px;
+}
+.status { font-weight: 600; }
+.status.ok { color: var(--status-good); }
+.status.firing { color: var(--status-critical); }
+.status.stale { color: var(--status-warning); }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th {
+  text-align: left; font-weight: 600; color: var(--text-secondary);
+  border-bottom: 1px solid var(--axis); padding: 4px 8px 4px 0;
+}
+td {
+  border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0;
+  font-variant-numeric: tabular-nums;
+}
+td.mono { font-family: ui-monospace, monospace; font-size: 12px; }
+.wide { grid-column: 1 / -1; }
+svg { display: block; width: 100%; height: 48px; margin-top: 6px; }
+"""
+
+
+def render_sparkline(
+    points: list[float | None],
+    *,
+    width: int = 260,
+    height: int = 48,
+    color_var: str = "--series-1",
+    second: list[float | None] | None = None,
+    second_var: str = "--series-2",
+) -> str:
+    """One inline-SVG sparkline (optionally two series, shared scale).
+
+    Gaps (``None`` cells) break the polyline rather than interpolating
+    through missing samples.  The value scale is shared across both
+    series so they compare; a hairline baseline anchors zero.
+    """
+    series = [points] + ([second] if second is not None else [])
+    live = [v for ps in series for v in ps if v is not None]
+    if not live or len(points) < 2:
+        return (
+            f'<svg viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="no data"><text x="4" y="{height - 6}" '
+            f'fill="var(--text-muted)" font-size="11">no data'
+            f"</text></svg>"
+        )
+    lo = min(0.0, min(live))
+    hi = max(live)
+    span = (hi - lo) or 1.0
+    n = max(len(ps) for ps in series)
+    step = width / max(1, n - 1)
+    pad = 3
+
+    def scale_y(v: float) -> float:
+        return pad + (height - 2 * pad) * (1 - (v - lo) / span)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="sparkline" preserveAspectRatio="none">'
+    ]
+    y0 = scale_y(0.0)
+    parts.append(
+        f'<line x1="0" y1="{y0:.1f}" x2="{width}" y2="{y0:.1f}" '
+        f'stroke="var(--axis)" stroke-width="1"/>'
+    )
+    for ps, var in zip(series, (color_var, second_var)):
+        segment: list[str] = []
+        for i, v in enumerate(ps):
+            if v is None:
+                if len(segment) >= 2:
+                    parts.append(_polyline(segment, var))
+                segment = []
+                continue
+            segment.append(f"{i * step:.1f},{scale_y(v):.1f}")
+        if len(segment) >= 2:
+            parts.append(_polyline(segment, var))
+        elif len(segment) == 1:
+            x, y = segment[0].split(",")
+            parts.append(
+                f'<circle cx="{x}" cy="{y}" r="2" '
+                f'fill="var({var})"/>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _polyline(coords: list[str], color_var: str) -> str:
+    return (
+        f'<polyline points="{" ".join(coords)}" fill="none" '
+        f'stroke="var({color_var})" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/>'
+    )
+
+
+def _fmt(value: float | None, digits: int = 1) -> str:
+    if value is None:
+        return "–"
+    if value == int(value) and abs(value) < 10000:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def _series_by(doc: dict[str, Any], name: str) -> list[dict[str, Any]]:
+    return [s for s in doc["series"] if s["name"] == name]
+
+
+def _merged_points(entries: list[dict[str, Any]]) -> list[float | None]:
+    """Point-wise sum across label children (fleet view)."""
+    if not entries:
+        return []
+    n = max(len(e["points"]) for e in entries)
+    out: list[float | None] = []
+    for i in range(n):
+        cell = [
+            e["points"][i]
+            for e in entries
+            if i < len(e["points"]) and e["points"][i] is not None
+        ]
+        out.append(sum(cell) if cell else None)
+    return out
+
+
+def _status_line(label: str, state: str, kind: str) -> str:
+    icon = {"ok": "✓", "firing": "✕", "stale": "◌"}.get(kind, "·")
+    return (
+        f'<div><span class="status {kind}">{icon} '
+        f"{_html.escape(state)}</span> "
+        f'<span class="hint">{_html.escape(label)}</span></div>'
+    )
+
+
+def render_dashboard(
+    store: TimeSeriesStore,
+    *,
+    engine: Any = None,
+    events: list[dict[str, Any]] | None = None,
+    degraded: dict[str, Any] | None = None,
+    window_s: float = 60.0,
+    refresh_s: int = 5,
+) -> str:
+    """The full ``/dashboard`` document as one HTML string."""
+    doc = store.to_dict(window_s)
+    qps = store.rate("query.completed", window_s)
+    p50 = store.quantile("query.latency_ms", 0.5, window_s)
+    p99 = store.quantile("query.latency_ms", 0.99, window_s)
+    completed = store.window_sum("query.completed", window_s)
+    faulted = store.window_sum("query.faulted", window_s) or 0.0
+    fault_pct = (
+        100.0 * faulted / completed if completed else None
+    )
+
+    tiles = []
+
+    # Hero tiles: QPS sparkline (one series → no legend) and the
+    # latency tile (two series → swatch legend).
+    qps_points = _merged_points(_series_by(doc, "query.completed"))
+    tiles.append(
+        '<div class="tile"><h2>Throughput</h2>'
+        f'<div class="hero">{_fmt(qps, 2)}'
+        '<span class="unit">queries/s</span></div>'
+        + render_sparkline(qps_points)
+        + f'<div class="hint">last {_fmt(window_s)} s</div></div>'
+    )
+
+    lat_entries = _series_by(doc, "query.latency_ms")
+    p50_points = _merged_hist_points(lat_entries, "points")
+    tiles.append(
+        '<div class="tile"><h2>Latency</h2>'
+        f'<div class="hero">{_fmt(p99)}'
+        '<span class="unit">ms p99</span></div>'
+        + render_sparkline(p50_points)
+        + '<div class="legend">'
+        '<span><span class="swatch" '
+        'style="background:var(--series-1)"></span>p99 per cell</span>'
+        f"<span>p50 {_fmt(p50)} ms</span></div></div>"
+    )
+
+    if degraded:
+        health = _status_line(
+            str(degraded.get("reason", "")), "degraded", "firing"
+        )
+    else:
+        health = _status_line("no recovery paths ran", "ok", "ok")
+    fault_text = (
+        "– no traffic" if fault_pct is None
+        else f"{_fmt(fault_pct, 2)} % of {_fmt(completed)} queries"
+    )
+    tiles.append(
+        '<div class="tile"><h2>Health</h2>'
+        + health
+        + f'<div class="hint">fault rate: {fault_text}</div>'
+        + "</div>"
+    )
+
+    # SLO tile: one icon+label line per objective.
+    if engine is not None:
+        slo_doc = engine.to_dict()
+        lines = []
+        for obj in slo_doc["objectives"]:
+            if obj["firing"]:
+                kind, state = "firing", "firing"
+            elif obj["burn_short"] is None:
+                kind, state = "stale", "no data"
+            else:
+                kind, state = "ok", "ok"
+            burn = (
+                f'burn {_fmt(obj["burn_short"], 1)}× / '
+                f'{_fmt(obj["burn_long"], 1)}×'
+            )
+            lines.append(
+                _status_line(f'{obj["name"]} · {burn}', state, kind)
+            )
+        tiles.append(
+            '<div class="tile"><h2>SLO burn rates</h2>'
+            + "".join(lines)
+            + '<div class="hint">threshold '
+            + _fmt(slo_doc["windows"]["threshold"], 1)
+            + "× over both windows</div></div>"
+        )
+
+    # Per-backend table from labeled children.
+    backend_rows = []
+    for entry in _series_by(doc, "query.completed"):
+        backend = entry["labels"].get("backend")
+        if backend is None:
+            continue
+        rate = entry.get("rate")
+        labels = {"backend": backend}
+        row_p50 = store.quantile(
+            "query.latency_ms", 0.5, window_s, labels=labels
+        )
+        row_p99 = store.quantile(
+            "query.latency_ms", 0.99, window_s, labels=labels
+        )
+        row_faults = store.window_sum(
+            "query.faulted", window_s, labels=labels
+        ) or 0.0
+        row_total = store.window_sum(
+            "query.completed", window_s, labels=labels
+        ) or 0.0
+        pct = 100.0 * row_faults / row_total if row_total else 0.0
+        backend_rows.append(
+            f"<tr><td>{_html.escape(backend)}</td>"
+            f"<td>{_fmt(rate, 2)}</td><td>{_fmt(row_p50)}</td>"
+            f"<td>{_fmt(row_p99)}</td><td>{_fmt(pct, 1)} %</td></tr>"
+        )
+    if backend_rows:
+        tiles.append(
+            '<div class="tile wide"><h2>Backends</h2><table>'
+            "<tr><th>backend</th><th>qps</th><th>p50 ms</th>"
+            "<th>p99 ms</th><th>faults</th></tr>"
+            + "".join(backend_rows)
+            + "</table></div>"
+        )
+
+    # Slowest recent queries out of the qlog ring (fingerprint detail
+    # lives here, never as registry labels).
+    slow = sorted(
+        events or [],
+        key=lambda e: e.get("wall_ms", 0.0),
+        reverse=True,
+    )[:8]
+    if slow:
+        rows = "".join(
+            f'<tr><td>{e.get("query_id", "?")}</td>'
+            f'<td>{_html.escape(str(e.get("query") or "–"))}</td>'
+            f'<td class="mono">'
+            f'{_html.escape(str(e.get("fingerprint", ""))[:12])}</td>'
+            f'<td>{_html.escape(str(e.get("backend", "?")))}</td>'
+            f'<td>{_fmt(e.get("wall_ms"), 1)}</td></tr>'
+            for e in slow
+        )
+        tiles.append(
+            '<div class="tile wide"><h2>Slowest recent queries</h2>'
+            "<table><tr><th>id</th><th>query</th><th>fingerprint</th>"
+            "<th>backend</th><th>wall ms</th></tr>"
+            + rows + "</table></div>"
+        )
+
+    sub = (
+        f"window {_fmt(window_s)} s · {doc['n_samples']} samples · "
+        f"auto-refresh {refresh_s} s"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f'<meta http-equiv="refresh" content="{refresh_s}">\n'
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">\n'
+        "<title>repro · fleet dashboard</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body><h1>repro fleet dashboard</h1>"
+        f'<p class="sub">{sub}</p>'
+        f'<div class="grid">{"".join(tiles)}</div>'
+        "</body></html>\n"
+    )
+
+
+def _merged_hist_points(
+    entries: list[dict[str, Any]], key: str
+) -> list[float | None]:
+    """Point-wise max across histogram children (worst-backend p99)."""
+    if not entries:
+        return []
+    n = max(len(e[key]) for e in entries)
+    out: list[float | None] = []
+    for i in range(n):
+        cell = [
+            e[key][i]
+            for e in entries
+            if i < len(e[key]) and e[key][i] is not None
+        ]
+        out.append(max(cell) if cell else None)
+    return out

@@ -27,25 +27,133 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "METRICS",
     "MetricsDelta",
     "MetricsRegistry",
+    "flat_key",
 ]
 
 # Decade buckets cover everything we observe (rows, bytes, rows/s).
 DEFAULT_BUCKETS = tuple(10.0 ** e for e in range(13))
 
+# 1-2.5-5 decades from 1 ms to 1 min: one bucket is narrow enough that
+# a bucket-interpolated p99 stays within a small factor of the true
+# quantile (the acceptance bound of the time-series rollups).
+LATENCY_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0,
+)
 
-class Counter:
+# Labels: [a-zA-Z_][a-zA-Z0-9_]* (Prometheus label-name grammar; no
+# colons — those are reserved for metric names).
+_RESERVED_LABELS = frozenset({"le"})
+
+
+def _valid_label_name(name: str) -> bool:
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in name)
+
+
+def _labelset(labelkv: dict) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) label set for one child."""
+    if not labelkv:
+        raise ValueError("labels() needs at least one label")
+    for name in labelkv:
+        if not _valid_label_name(name):
+            raise ValueError(f"invalid label name {name!r}")
+        if name in _RESERVED_LABELS:
+            raise ValueError(
+                f"label name {name!r} is reserved (histogram buckets)"
+            )
+    return tuple(sorted((k, str(v)) for k, v in labelkv.items()))
+
+
+def flat_key(name: str, labelset: tuple[tuple[str, str], ...]) -> str:
+    """One readable string identity per series.
+
+    Used wherever a series must key a plain dict — registry snapshots,
+    wide-event counter deltas, time-series JSON: ``name`` for the bare
+    instrument, ``name{k=v,...}`` for a labeled child.
+    """
+    if not labelset:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labelset)
+    return f"{name}{{{inner}}}"
+
+
+class _LabelsMixin:
+    """Labeled-children support shared by every instrument class.
+
+    ``counter("queries_total").labels(backend="process")`` returns a
+    *child* instrument of the same class, cached on the parent by its
+    canonical (sorted) label set, so hot loops hold the child reference
+    and pay exactly the unlabeled update cost.  The parent remains a
+    usable unlabeled instrument; exporters render it plus every child
+    as one metric family.
+    """
+
+    def labels(self, **labelkv):
+        if self.labelset:
+            raise TypeError(
+                f"{self.name}: labels() on an already-labeled child"
+            )
+        key = _labelset(labelkv)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                child.labelset = key
+                self._children[key] = child
+                self._children_sorted = None
+            return child
+
+    def children(self):
+        """Labeled children, sorted by label set (export order).
+
+        The sorted view is cached — the per-query delta ledger walks
+        every family twice per query, while children appear rarely.
+        Callers must not mutate the returned tuple's order.
+        """
+        cached = self._children_sorted
+        if cached is None:
+            with self._lock:
+                cached = self._children_sorted = tuple(sorted(
+                    self._children.values(),
+                    key=lambda c: c.labelset,
+                ))
+        return cached
+
+    @property
+    def key(self) -> str:
+        # Cached: name and labelset are fixed once the child is handed
+        # out, and the delta ledger reads key on every instrument per
+        # query.
+        cached = self._key
+        if cached is None:
+            cached = self._key = flat_key(self.name, self.labelset)
+        return cached
+
+
+class Counter(_LabelsMixin):
     """Monotonically increasing count (pages read, suspensions...)."""
 
-    __slots__ = ("name", "help", "value", "_lock")
+    __slots__ = ("name", "help", "value", "labelset", "_children",
+                 "_children_sorted", "_lock", "_key")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0
+        self._key = None
+        self.labelset: tuple[tuple[str, str], ...] = ()
+        self._children: dict[tuple, "Counter"] = {}
+        self._children_sorted: tuple | None = ()
         self._lock = threading.Lock()
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
 
     def inc(self, n: int = 1) -> None:
         with self._lock:
@@ -54,18 +162,29 @@ class Counter:
     def reset(self) -> None:
         with self._lock:
             self.value = 0
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
 
 
-class Gauge:
+class Gauge(_LabelsMixin):
     """A point-in-time level (cache hit ratio, DRAM residency...)."""
 
-    __slots__ = ("name", "help", "value", "_lock")
+    __slots__ = ("name", "help", "value", "labelset", "_children",
+                 "_children_sorted", "_lock", "_key")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0.0
+        self._key = None
+        self.labelset: tuple[tuple[str, str], ...] = ()
+        self._children: dict[tuple, "Gauge"] = {}
+        self._children_sorted: tuple | None = ()
         self._lock = threading.Lock()
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -78,13 +197,17 @@ class Gauge:
     def reset(self) -> None:
         with self._lock:
             self.value = 0.0
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
 
 
-class Histogram:
+class Histogram(_LabelsMixin):
     """Cumulative-bucket distribution (rows per morsel, rows/s...)."""
 
     __slots__ = ("name", "help", "bounds", "bucket_counts", "sum",
-                 "count", "_lock")
+                 "count", "labelset", "_children", "_children_sorted",
+                 "_lock", "_key")
 
     def __init__(self, name: str, help: str = "",
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS):
@@ -94,7 +217,14 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf last
         self.sum = 0.0
         self.count = 0
+        self._key = None
+        self.labelset: tuple[tuple[str, str], ...] = ()
+        self._children: dict[tuple, "Histogram"] = {}
+        self._children_sorted: tuple | None = ()
         self._lock = threading.Lock()
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.bounds)
 
     def observe(self, value: float) -> None:
         idx = bisect.bisect_left(self.bounds, value)
@@ -108,6 +238,9 @@ class Histogram:
             self.bucket_counts = [0] * (len(self.bounds) + 1)
             self.sum = 0.0
             self.count = 0
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
 
     def snapshot(self) -> tuple[tuple[int, ...], float, int]:
         """Consistent ``(bucket_counts, sum, count)`` under the lock.
@@ -120,6 +253,15 @@ class Histogram:
         with self._lock:
             return tuple(self.bucket_counts), self.sum, self.count
 
+    def totals(self) -> tuple[float, int]:
+        """Consistent ``(sum, count)`` without copying the buckets.
+
+        The per-query delta ledger only tracks totals, so it skips the
+        bucket-tuple copy :meth:`snapshot` pays on every call.
+        """
+        with self._lock:
+            return self.sum, self.count
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -130,6 +272,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._sorted: tuple | None = ()
         self._lock = threading.Lock()
 
     def _get(self, name: str, cls, **kwargs):
@@ -144,6 +287,7 @@ class MetricsRegistry:
                 return existing
             instrument = cls(name, **kwargs)
             self._instruments[name] = instrument
+            self._sorted = None
             return instrument
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -158,21 +302,39 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get(name, Histogram, help=help, buckets=buckets)
 
-    def instruments(self) -> list[Counter | Gauge | Histogram]:
-        with self._lock:
-            return sorted(self._instruments.values(),
-                          key=lambda m: m.name)
+    def instruments(self) -> tuple[Counter | Gauge | Histogram, ...]:
+        """Metric *families* (labeled children hang off each parent).
+
+        Cached sorted view: families register once and then the delta
+        ledger, exporter and sampler walk this list constantly.
+        """
+        cached = self._sorted
+        if cached is None:
+            with self._lock:
+                cached = self._sorted = tuple(sorted(
+                    self._instruments.values(),
+                    key=lambda m: m.name,
+                ))
+        return cached
+
+    def all_instruments(self) -> list[Counter | Gauge | Histogram]:
+        """Every series: each family followed by its labeled children."""
+        out: list[Counter | Gauge | Histogram] = []
+        for m in self.instruments():
+            out.append(m)
+            out.extend(m.children())
+        return out
 
     def snapshot(self) -> dict[str, float | dict]:
         """Plain-value view for assertions and JSON reports."""
         out: dict[str, float | dict] = {}
-        for m in self.instruments():
+        for m in self.all_instruments():
             if isinstance(m, Histogram):
-                out[m.name] = {
+                out[m.key] = {
                     "count": m.count, "sum": m.sum, "mean": m.mean
                 }
             else:
-                out[m.name] = m.value
+                out[m.key] = m.value
         return out
 
     def reset(self) -> None:
@@ -199,12 +361,11 @@ class MetricsDelta:
     def __init__(self, registry: MetricsRegistry):
         self._registry = registry
         self._base: dict[str, float | tuple[float, int]] = {}
-        for m in registry.instruments():
+        for m in registry.all_instruments():
             if isinstance(m, Histogram):
-                _, hsum, count = m.snapshot()
-                self._base[m.name] = (hsum, count)
+                self._base[m.key] = m.totals()
             else:
-                self._base[m.name] = m.value
+                self._base[m.key] = m.value
 
     def collect(self) -> dict[str, float | dict]:
         """Per-instrument movement since the baseline.
@@ -213,22 +374,23 @@ class MetricsDelta:
         report ``{"count": dcount, "sum": dsum}``.  Instruments whose
         value did not move are dropped, so two back-to-back queries
         report disjoint counter sets when they touch disjoint paths.
+        Labeled children appear under their flat ``name{k=v}`` key.
         """
         out: dict[str, float | dict] = {}
-        for m in self._registry.instruments():
+        for m in self._registry.all_instruments():
             if isinstance(m, Histogram):
-                base_sum, base_count = self._base.get(m.name, (0.0, 0))
-                _, hsum, count = m.snapshot()
+                base_sum, base_count = self._base.get(m.key, (0.0, 0))
+                hsum, count = m.totals()
                 dcount = count - base_count
                 if dcount or hsum != base_sum:
-                    out[m.name] = {
+                    out[m.key] = {
                         "count": dcount, "sum": hsum - base_sum
                     }
             else:
-                base = self._base.get(m.name, 0.0)
+                base = self._base.get(m.key, 0.0)
                 moved = m.value - base
                 if moved:
-                    out[m.name] = moved
+                    out[m.key] = moved
         return out
 
 

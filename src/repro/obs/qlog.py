@@ -49,7 +49,11 @@ from repro.obs.context import (
 )
 from repro.obs.critpath import analyze_records
 from repro.obs.export import chrome_trace
-from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    METRICS,
+    MetricsRegistry,
+)
 from repro.obs.server import record_wide_event
 from repro.obs.spans import INSTANT
 
@@ -110,18 +114,24 @@ class QueryLog:
 
     def __init__(
         self,
-        path: str,
+        path: str | None,
         *,
         sample_slowest_k: int = 0,
         trace_dir: str | None = None,
         registry: MetricsRegistry | None = None,
     ):
+        # path=None keeps the log in-memory only (ring + fleet
+        # metrics, no JSONL) — the shape ``repro serve`` installs so a
+        # long-lived server never grows an unbounded file.
         self.path = path
         self.sample_slowest_k = sample_slowest_k
         self.trace_dir = trace_dir
         self.registry = registry if registry is not None else METRICS
         self.n_emitted = 0
         self._fh: Any = None
+        # Per-backend fleet children, cached so emit() skips the
+        # registry get-or-create and label canonicalization each time.
+        self._fleet: dict[str, tuple[Any, Any]] = {}
         # Min-heap of (wall_ms, query_id, trace_path): the root is the
         # fastest retained query — first out when a slower one arrives.
         self._slowest: list[tuple[float, int, str]] = []
@@ -132,12 +142,53 @@ class QueryLog:
         # The handle stays open across queries (reopening per event
         # triples the emit cost); each line is flushed so readers — and
         # a crash post-mortem — always see complete events.
-        if self._fh is None:
-            self._fh = open(self.path, "a")
-        self._fh.write(json.dumps(doc) + "\n")
-        self._fh.flush()
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            self._fh.write(json.dumps(doc) + "\n")
+            self._fh.flush()
         self.n_emitted += 1
         record_wide_event(doc)
+        self._record_fleet_metrics(doc)
+
+    def _record_fleet_metrics(self, doc: dict[str, Any]) -> None:
+        """Fold the finished query into the fleet instruments.
+
+        These ``query.*`` series feed the rollup rings and SLO engine
+        (QPS, windowed p99, fault/mispredict rates).  Labels carry the
+        backend only — the fingerprint stays in the qlog ring, per the
+        cardinality policy (DESIGN.md §13).  Recording happens *after*
+        the event's own counter delta was collected, so a query's
+        ledger never contains its own fleet bookkeeping.
+        """
+        registry = self.registry
+        backend = str(doc.get("backend") or "unknown")
+        cached = self._fleet.get(backend)
+        if cached is None:
+            cached = (
+                registry.counter(
+                    "query.completed", "Queries finished (any outcome)"
+                ).labels(backend=backend),
+                registry.histogram(
+                    "query.latency_ms",
+                    "End-to-end query wall time (ms)",
+                    buckets=LATENCY_BUCKETS_MS,
+                ).labels(backend=backend),
+            )
+            self._fleet[backend] = cached
+        completed, latency = cached
+        completed.inc()
+        latency.observe(float(doc.get("wall_ms", 0.0)))
+        if doc.get("faults"):
+            registry.counter(
+                "query.faulted", "Queries that saw injected faults"
+            ).labels(backend=backend).inc()
+        suspend = doc.get("suspend") or {}
+        if suspend.get("mispredicted"):
+            registry.counter(
+                "query.suspend_mispredicted",
+                "Queries whose suspend prediction missed",
+            ).labels(backend=backend).inc()
 
     def close(self) -> None:
         if self._fh is not None:

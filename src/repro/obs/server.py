@@ -10,6 +10,17 @@
     When a recovery path had to run (host fallback, retry-budget
     exhaustion) the fault layer flips a process-wide degraded flag and
     the status reads ``"degraded"`` with the reason attached.
+``/timeseries?window=<seconds>``
+    Windowed rollup-ring series JSON (rates, gauge levels, histogram
+    p50/p95/p99 and per-cell points) from the ambient
+    :class:`~repro.obs.timeseries.TimeSeriesStore`; 503 until a
+    sampler is installed (``repro serve`` does this by default).
+``/slo``
+    Burn-rate status of every declared objective, freshly evaluated;
+    503 until an :class:`~repro.obs.slo.SloEngine` is installed.
+``/dashboard``
+    Self-contained HTML dashboard (inline SVG sparklines, no external
+    assets) over the same data — open it in a browser.
 ``/trace/last``
     The Chrome-trace JSON of the most recent traced query (404 until
     one ran), so a dashboard can deep-link "open last trace".
@@ -19,6 +30,10 @@
 ``/query/<id>``
     One query's wide event by its ``query_id`` (404 when it has
     rotated out of the ring or never ran).
+
+The authoritative route list is :data:`ROUTES`; the CLI renders its
+help and startup banner from it so they cannot drift from the handler
+(which dispatches over the same table).
 
 A :class:`~http.server.ThreadingHTTPServer` keeps a slow scraper from
 blocking the next one; all state it reads (the metrics registry, the
@@ -42,6 +57,8 @@ from repro.obs.metrics import METRICS, MetricsRegistry
 
 __all__ = [
     "ObsServer",
+    "ROUTES",
+    "route_summary",
     "set_last_trace",
     "get_last_trace",
     "set_degraded",
@@ -54,6 +71,25 @@ __all__ = [
 ]
 
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# The route table: (display path, one-line description).  The handler
+# dispatches on these paths and the CLI generates its `serve` help and
+# startup banner from this tuple — one source of truth, no drift.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("/metrics", "Prometheus text exposition (0.0.4)"),
+    ("/healthz", "liveness JSON; degraded reason when a recovery ran"),
+    ("/timeseries", "windowed rollup-ring series JSON (?window=s)"),
+    ("/slo", "SLO burn-rate status JSON"),
+    ("/dashboard", "self-contained HTML dashboard"),
+    ("/trace/last", "Chrome trace of the most recent traced query"),
+    ("/query-log/recent", "recent query wide events, newest first"),
+    ("/query/<id>", "one query's wide event by id"),
+)
+
+
+def route_summary() -> str:
+    """Space-joined route paths, for banners and help strings."""
+    return " ".join(path for path, _ in ROUTES)
 
 # The most recent query's Chrome-trace document.  A plain slot guarded
 # by the GIL's atomic attribute swap: writers replace the whole dict,
@@ -134,10 +170,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         srv: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         if path == "/metrics":
             body = prometheus_text(srv.registry).encode()
             self._reply(200, PROM_CONTENT_TYPE, body)
+        elif path == "/timeseries":
+            self._reply_timeseries(query)
+        elif path == "/slo":
+            self._reply_slo()
+        elif path == "/dashboard":
+            self._reply_dashboard(query)
         elif path == "/healthz":
             degraded = get_degraded()
             doc = {
@@ -175,6 +218,81 @@ class _Handler(BaseHTTPRequestHandler):
                         b'{"error": "unknown path"}')
         srv.n_requests += 1
 
+    # Lazy imports below: timeseries/slo/dashboard import this module
+    # for the degraded machinery, so importing them at module top would
+    # cycle.  A handler-time import is a dict hit after the first call.
+
+    def _window_arg(self, query: str, default: float = 60.0) -> float:
+        """Parse ``?window=<seconds>``; raises ValueError on junk so
+        callers answer 400 rather than silently serving the default."""
+        from urllib.parse import parse_qs
+
+        values = parse_qs(query).get("window")
+        if not values:
+            return default
+        seconds = float(values[0])  # ValueError on junk
+        if seconds <= 0:
+            raise ValueError("window must be positive")
+        return seconds
+
+    def _reply_timeseries(self, query: str) -> None:
+        from repro.obs.timeseries import get_timeseries
+
+        store = get_timeseries()
+        if store is None:
+            self._reply(503, "application/json",
+                        b'{"error": "no time-series sampler installed"}')
+            return
+        try:
+            window = self._window_arg(query)
+        except ValueError:
+            self._reply(400, "application/json",
+                        b'{"error": "bad window= parameter"}')
+            return
+        doc = store.to_dict(window)
+        self._reply(200, "application/json",
+                    json.dumps(doc).encode())
+
+    def _reply_slo(self) -> None:
+        from repro.obs.slo import get_slo_engine
+
+        engine = get_slo_engine()
+        if engine is None:
+            self._reply(503, "application/json",
+                        b'{"error": "no SLO engine installed"}')
+            return
+        engine.evaluate()
+        self._reply(200, "application/json",
+                    json.dumps(engine.to_dict()).encode())
+
+    def _reply_dashboard(self, query: str) -> None:
+        from repro.obs.dashboard import render_dashboard
+        from repro.obs.slo import get_slo_engine
+        from repro.obs.timeseries import get_timeseries
+
+        store = get_timeseries()
+        if store is None:
+            self._reply(503, "text/plain; charset=utf-8",
+                        b"no time-series sampler installed")
+            return
+        try:
+            window = self._window_arg(query)
+        except ValueError:
+            self._reply(400, "text/plain; charset=utf-8",
+                        b"bad window= parameter")
+            return
+        engine = get_slo_engine()
+        if engine is not None:
+            engine.evaluate()
+        html = render_dashboard(
+            store,
+            engine=engine,
+            events=recent_wide_events(),
+            degraded=get_degraded(),
+            window_s=window,
+        )
+        self._reply(200, "text/html; charset=utf-8", html.encode())
+
     def _reply(self, code: int, ctype: str, body: bytes) -> None:
         self.send_response(code)
         self.send_header("Content-Type", ctype)
@@ -187,7 +305,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ObsServer:
-    """The /metrics + /healthz + /trace/last endpoint."""
+    """The scrape endpoint serving every path in :data:`ROUTES`."""
 
     def __init__(
         self,

@@ -1,0 +1,391 @@
+"""Declarative SLOs evaluated as multi-window burn rates over the rings.
+
+An SLO here is "fraction of *bad* events stays under ``1 - objective``".
+The engine reads bad/total fractions from the rollup rings
+(:mod:`repro.obs.timeseries`) over two windows — a short one that
+reacts fast and a long one that filters blips — and computes each
+window's **burn rate**: how many times faster than allowed the error
+budget is being spent::
+
+    burn = bad_fraction / (1 - objective)
+
+An alert fires only when *both* windows exceed the threshold (the
+classic multi-window pattern: 14.4× over 5 m AND 1 h ≈ 2 % of a 30-day
+budget in an hour).  Both windows are plain constructor arguments so
+tests scale them to milliseconds.
+
+Firing/clearing transitions are wired into the existing machinery
+rather than growing a parallel one:
+
+- the server's degraded flag flips (``/healthz`` → 503 with the alert
+  reason attached) — but only when health is currently OK or already
+  degraded *by us* (``slo:`` prefix), so the fault-layer's own
+  degradation is never clobbered;
+- an instant is stamped on the ambient tracer (``slo.alert`` /
+  ``slo.clear``); instants auto-carry the active query id, so the
+  transition lands in that query's wide event like any other span.
+
+Layering: sibling ``obs`` modules only, and :mod:`repro.obs.server`
+strictly lazily (the server imports us for ``/slo``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any
+
+from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = [
+    "BurnWindows",
+    "LatencySLO",
+    "RatioSLO",
+    "SloEngine",
+    "SloStatus",
+    "default_objectives",
+    "get_slo_engine",
+    "set_slo_engine",
+    "validate_slo_doc",
+]
+
+
+class BurnWindows:
+    """Window pair + firing threshold for the multi-window check."""
+
+    __slots__ = ("short_s", "long_s", "threshold")
+
+    def __init__(self, short_s: float = 300.0,
+                 long_s: float = 3600.0,
+                 threshold: float = 14.4):
+        if short_s >= long_s:
+            raise ValueError("short window must be shorter than long")
+        self.short_s = short_s
+        self.long_s = long_s
+        self.threshold = threshold
+
+
+class RatioSLO:
+    """Objective over a bad/total counter pair (fault rate, retries)."""
+
+    kind = "ratio"
+    __slots__ = ("name", "bad", "total", "objective")
+
+    def __init__(self, name: str, bad: str, total: str,
+                 objective: float = 0.99):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        self.name = name
+        self.bad = bad
+        self.total = total
+        self.objective = objective
+
+    def bad_fraction(self, store: TimeSeriesStore, seconds: float,
+                     now: float | None = None) -> float | None:
+        total = store.window_sum(self.total, seconds, now=now)
+        if not total:
+            return None
+        bad = store.window_sum(self.bad, seconds, now=now) or 0.0
+        return min(1.0, bad / total)
+
+    def describe(self) -> dict[str, Any]:
+        return {"bad": self.bad, "total": self.total}
+
+
+class LatencySLO:
+    """Objective over a latency histogram: a *bad* event is one above
+    ``threshold_ms``.
+
+    The fraction is bucket-aligned: only buckets whose entire range
+    lies above the threshold count as bad, so a threshold on a bucket
+    boundary is exact (bucket ``(lo, hi]`` semantics) and one between
+    boundaries under-counts by at most that bucket.
+    ``LATENCY_BUCKETS_MS`` is built so common thresholds (100, 250,
+    500 ms...) sit on boundaries.
+    """
+
+    kind = "latency"
+    __slots__ = ("name", "histogram", "threshold_ms", "objective")
+
+    def __init__(self, name: str, histogram: str,
+                 threshold_ms: float, objective: float = 0.99):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        self.name = name
+        self.histogram = histogram
+        self.threshold_ms = threshold_ms
+        self.objective = objective
+
+    def bad_fraction(self, store: TimeSeriesStore, seconds: float,
+                     now: float | None = None) -> float | None:
+        hist = store.window_hist(self.histogram, seconds, now=now)
+        if hist is None:
+            return None
+        bounds, buckets, _, count = hist
+        if not count:
+            return None
+        # Bucket i holds values in (bounds[i-1], bounds[i]]; it is
+        # entirely above the threshold iff bounds[i-1] >= threshold.
+        lo = bisect.bisect_left(bounds, self.threshold_ms) + 1
+        bad = sum(buckets[lo:])
+        return bad / count
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "histogram": self.histogram,
+            "threshold_ms": self.threshold_ms,
+        }
+
+
+class SloStatus:
+    """One objective's latest evaluation (immutable value object)."""
+
+    __slots__ = ("name", "kind", "objective", "burn_short",
+                 "burn_long", "firing", "detail")
+
+    def __init__(self, name: str, kind: str, objective: float,
+                 burn_short: float | None, burn_long: float | None,
+                 firing: bool, detail: dict[str, Any]):
+        self.name = name
+        self.kind = kind
+        self.objective = objective
+        self.burn_short = burn_short
+        self.burn_long = burn_long
+        self.firing = firing
+        self.detail = detail
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "firing": self.firing,
+            "detail": self.detail,
+        }
+
+
+class SloEngine:
+    """Evaluates every objective against the rings and drives the
+    alert transitions.
+
+    ``evaluate()`` is called by the sampler after each tick (and by the
+    ``/slo`` handler on demand); it is idempotent between transitions.
+    One lock orders concurrent evaluations so fire/clear side effects
+    happen exactly once per transition.
+    """
+
+    def __init__(self, store: TimeSeriesStore,
+                 objectives: list[RatioSLO | LatencySLO],
+                 windows: BurnWindows | None = None):
+        self.store = store
+        self.objectives = list(objectives)
+        self.windows = windows if windows is not None else BurnWindows()
+        self._firing: set[str] = set()
+        self._status: dict[str, SloStatus] = {}
+        self._lock = threading.Lock()
+        self.n_evaluations = 0
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> list[SloStatus]:
+        win = self.windows
+        with self._lock:
+            statuses = []
+            for obj in self.objectives:
+                budget = 1.0 - obj.objective
+                burns: list[float | None] = []
+                for seconds in (win.short_s, win.long_s):
+                    frac = obj.bad_fraction(
+                        self.store, seconds, now=now
+                    )
+                    burns.append(
+                        None if frac is None else frac / budget
+                    )
+                burn_short, burn_long = burns
+                firing = (
+                    burn_short is not None
+                    and burn_long is not None
+                    and burn_short >= win.threshold
+                    and burn_long >= win.threshold
+                )
+                status = SloStatus(
+                    obj.name, obj.kind, obj.objective,
+                    burn_short, burn_long, firing, obj.describe(),
+                )
+                statuses.append(status)
+                self._status[obj.name] = status
+                self._transition(status)
+            self.n_evaluations += 1
+            return statuses
+
+    def _transition(self, status: SloStatus) -> None:
+        """Fire/clear side effects, once per edge (lock held)."""
+        was = status.name in self._firing
+        if status.firing and not was:
+            self._firing.add(status.name)
+            self._stamp("slo.alert", status)
+            self._sync_degraded()
+        elif not status.firing and was:
+            self._firing.discard(status.name)
+            self._stamp("slo.clear", status)
+            self._sync_degraded()
+
+    def _stamp(self, name: str, status: SloStatus) -> None:
+        from repro.obs.spans import get_tracer
+
+        tracer = get_tracer()
+        if tracer is None:
+            return
+        tracer.instant(
+            name,
+            slo=status.name,
+            burn_short=status.burn_short,
+            burn_long=status.burn_long,
+        )
+
+    def _sync_degraded(self) -> None:
+        """Reflect the firing set in ``/healthz`` without clobbering a
+        degradation some other layer (fault injector) installed."""
+        from repro.obs.server import (
+            clear_degraded,
+            get_degraded,
+            set_degraded,
+        )
+
+        current = get_degraded()
+        reason = current.get("reason") if current else None
+        ours = reason is None or str(reason).startswith("slo:")
+        if self._firing:
+            if ours:
+                names = ",".join(sorted(self._firing))
+                set_degraded(
+                    f"slo:{names}",
+                    slo_firing=sorted(self._firing),
+                )
+        elif reason is not None and str(reason).startswith("slo:"):
+            clear_degraded()
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def firing(self) -> list[str]:
+        with self._lock:
+            return sorted(self._firing)
+
+    def to_dict(self) -> dict[str, Any]:
+        win = self.windows
+        with self._lock:
+            return {
+                "windows": {
+                    "short_s": win.short_s,
+                    "long_s": win.long_s,
+                    "threshold": win.threshold,
+                },
+                "n_evaluations": self.n_evaluations,
+                "firing": sorted(self._firing),
+                "objectives": [
+                    self._status[o.name].to_dict()
+                    for o in self.objectives
+                    if o.name in self._status
+                ],
+            }
+
+
+def default_objectives(
+    *,
+    p99_ms: float = 250.0,
+    fault_objective: float = 0.95,
+    mispredict_objective: float = 0.90,
+    latency_objective: float = 0.99,
+) -> list[RatioSLO | LatencySLO]:
+    """The serving defaults: tail latency, fault rate, and suspend
+    misprediction rate over the qlog fleet counters."""
+    return [
+        LatencySLO(
+            "latency_p99", "query.latency_ms",
+            threshold_ms=p99_ms, objective=latency_objective,
+        ),
+        RatioSLO(
+            "fault_rate", "query.faulted", "query.completed",
+            objective=fault_objective,
+        ),
+        RatioSLO(
+            "suspend_mispredict", "query.suspend_mispredicted",
+            "query.completed", objective=mispredict_objective,
+        ),
+    ]
+
+
+# Ambient engine for the HTTP surfaces, mirroring set_timeseries.
+_slo_engine: SloEngine | None = None
+
+
+def set_slo_engine(engine: SloEngine | None) -> None:
+    global _slo_engine
+    # conc: safe — GIL-atomic reference swap
+    _slo_engine = engine
+
+
+def get_slo_engine() -> SloEngine | None:
+    return _slo_engine
+
+
+# -- /slo JSON schema ------------------------------------------------------
+
+SLO_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["windows", "n_evaluations", "firing", "objectives"],
+    "properties": {
+        "windows": {
+            "type": "object",
+            "required": ["short_s", "long_s", "threshold"],
+            "properties": {
+                "short_s": {"type": "number"},
+                "long_s": {"type": "number"},
+                "threshold": {"type": "number"},
+            },
+        },
+        "n_evaluations": {"type": "integer"},
+        "firing": {"type": "array", "items": {"type": "string"}},
+        "objectives": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "kind", "objective",
+                             "burn_short", "burn_long", "firing",
+                             "detail"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "kind": {"type": "string"},
+                    "objective": {"type": "number"},
+                    "burn_short": {"type": ["number", "null"]},
+                    "burn_long": {"type": ["number", "null"]},
+                    "firing": {"type": "boolean"},
+                    "detail": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_slo_doc(doc: Any) -> list[str]:
+    """Problems (empty = valid) for one ``/slo`` document."""
+    from repro.obs.qlog import _validate
+
+    problems: list[str] = []
+    _validate(doc, SLO_SCHEMA, "$", problems)
+    if isinstance(doc, dict):
+        names = {
+            o.get("name")
+            for o in doc.get("objectives", [])
+            if isinstance(o, dict)
+        }
+        for name in doc.get("firing", []):
+            if name not in names:
+                problems.append(
+                    f"$.firing: {name!r} is not a declared objective"
+                )
+    return problems

@@ -1,0 +1,628 @@
+"""Multi-resolution rollup rings over the metrics registry.
+
+The per-query instruments (spans, wide events, the registry) have no
+time dimension: a counter says *how many*, never *how fast lately*.
+This module adds the fleet-level signal plane: a sampler snapshots the
+registry on a fixed cadence and folds each instrument's **movement**
+into bounded rings at several resolutions (1 s → 10 s → 60 s by
+default), so ``/timeseries``, ``/dashboard``, ``repro top`` and the
+SLO burn-rate engine (:mod:`repro.obs.slo`) can ask windowed
+questions — QPS over the last minute, p99 latency over the last five.
+
+Design constraints, in order:
+
+1. **Disabled by default, and free when disabled.**  Nothing samples
+   until a :class:`Sampler` is started (or :meth:`TimeSeriesStore.
+   sample` is called directly); the instruments themselves are
+   untouched, so the ``BENCH_obs_overhead.json`` budgets hold.
+2. **Hard memory bound.**  Every ring has a fixed cell count; the
+   store tracks at most ``max_series`` series (drops — counted in
+   ``n_series_dropped`` — never grow memory).  Worst case is
+   ``max_series × Σ cells × (bucket_count + 2)`` floats, independent
+   of uptime.
+3. **Deltas, not levels.**  Counters are stored as per-cell deltas
+   (windowed reads divide by time → rates), gauges as last-value, and
+   histograms as per-cell *bucket deltas* — mergeable across cells, so
+   a windowed p50/p95/p99 is one bucket sum plus an interpolation,
+   and downsampling is exact: the per-sample delta lands in every
+   resolution's current cell, so the sum of 1 s cells spanning a 10 s
+   cell equals that 10 s cell by construction.
+4. **Counter resets are absorbed.**  A negative delta (the CLI's
+   ``METRICS.reset()`` between queries) is treated as a restart — the
+   post-reset level is the delta, exactly like PromQL ``rate()``.
+
+Cardinality policy: the store samples whatever the registry holds, and
+the registry holds *low-cardinality* labels only (``backend=...``);
+per-fingerprint detail lives exclusively in the qlog ring
+(``/query-log/recent``), never as registry labels (DESIGN.md §13).
+
+Layering: imports sibling ``obs`` modules only, never the engine.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from typing import Any, Callable
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS,
+    MetricsRegistry,
+    flat_key,
+)
+
+__all__ = [
+    "DEFAULT_RESOLUTIONS",
+    "Sampler",
+    "TimeSeriesStore",
+    "get_timeseries",
+    "quantile_from_buckets",
+    "set_timeseries",
+    "validate_timeseries_doc",
+]
+
+# (cell width seconds, cell count): 2 min at 1 s, 15 min at 10 s,
+# 2 h at 60 s.  Tests shrink the widths to run in milliseconds.
+DEFAULT_RESOLUTIONS: tuple[tuple[float, int], ...] = (
+    (1.0, 120),
+    (10.0, 90),
+    (60.0, 120),
+)
+
+DEFAULT_MAX_SERIES = 256
+
+
+def quantile_from_buckets(
+    bounds: tuple[float, ...],
+    counts: list[int] | tuple[int, ...],
+    q: float,
+) -> float | None:
+    """Quantile estimate by linear interpolation within the bucket.
+
+    ``counts`` are per-bucket (non-cumulative) observation counts with
+    the ``+Inf`` bucket last, as stored in the rings.  The estimate is
+    always inside the bucket that holds the target rank, so it is
+    within one bucket width of any direct quantile over the raw
+    observations.  Returns ``None`` on an empty window; observations
+    in the ``+Inf`` bucket clamp to the highest finite bound.
+    """
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cum = 0.0
+    lo = 0.0
+    for bound, count in zip(bounds, counts):
+        if count and cum + count >= rank:
+            frac = (rank - cum) / count
+            return lo + frac * (bound - lo)
+        cum += count
+        lo = bound
+    return bounds[-1]
+
+
+class _Ring:
+    """One fixed-size ring of cells at one resolution.
+
+    Cells are addressed by the absolute cell index ``int(t // res)``
+    and invalidated lazily: a slot whose stored index differs from the
+    one being written (or read) is stale and resets (or reads empty).
+    """
+
+    __slots__ = ("res", "cells", "ids", "values")
+
+    def __init__(self, res: float, cells: int):
+        self.res = res
+        self.cells = cells
+        self.ids = [-1] * cells
+        self.values: list[Any] = [None] * cells
+
+    def _slot(self, idx: int) -> int:
+        return idx % self.cells
+
+    def cell_for_write(self, t: float) -> int:
+        """Slot for time ``t``, reset if it belonged to an old cell."""
+        idx = int(t // self.res)
+        slot = self._slot(idx)
+        if self.ids[slot] != idx:
+            self.ids[slot] = idx
+            self.values[slot] = None
+        return slot
+
+    def window(self, t: float, seconds: float) -> list[Any]:
+        """Live cell values intersecting ``(t - seconds, t]``, oldest
+        first (stale and never-written cells are skipped)."""
+        first = int((t - seconds) // self.res) + 1
+        last = int(t // self.res)
+        first = max(first, last - self.cells + 1)
+        out = []
+        for idx in range(first, last + 1):
+            slot = self._slot(idx)
+            if self.ids[slot] == idx and self.values[slot] is not None:
+                out.append(self.values[slot])
+        return out
+
+    def window_cells(
+        self, t: float, seconds: float
+    ) -> list[tuple[float, Any]]:
+        """Like :meth:`window` but keyed by cell end time, including
+        empty cells as ``None`` (sparkline alignment)."""
+        first = int((t - seconds) // self.res) + 1
+        last = int(t // self.res)
+        first = max(first, last - self.cells + 1)
+        out = []
+        for idx in range(first, last + 1):
+            slot = self._slot(idx)
+            value = (
+                self.values[slot] if self.ids[slot] == idx else None
+            )
+            out.append(((idx + 1) * self.res, value))
+        return out
+
+
+class _Series:
+    """One instrument's rollup state across every resolution."""
+
+    __slots__ = ("name", "labelset", "kind", "bounds", "prev",
+                 "rings")
+
+    def __init__(self, instrument: Any,
+                 resolutions: tuple[tuple[float, int], ...]):
+        self.name = instrument.name
+        self.labelset = instrument.labelset
+        if isinstance(instrument, Counter):
+            self.kind = "counter"
+            self.bounds: tuple[float, ...] = ()
+            self.prev: Any = None
+        elif isinstance(instrument, Gauge):
+            self.kind = "gauge"
+            self.bounds = ()
+            self.prev = None
+        else:
+            self.kind = "histogram"
+            self.bounds = instrument.bounds
+            self.prev = None
+        self.rings = [_Ring(res, cells) for res, cells in resolutions]
+
+    @property
+    def key(self) -> str:
+        return flat_key(self.name, self.labelset)
+
+
+class TimeSeriesStore:
+    """Bounded rollup rings fed by registry snapshots.
+
+    One lock covers sampling and reads: both touch the same ring
+    cells, and both run on non-hot threads (the 1 Hz sampler, HTTP
+    scrape handlers), so contention is noise.  The query paths never
+    take this lock — they only update registry instruments.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        resolutions: tuple[tuple[float, int], ...] = (
+            DEFAULT_RESOLUTIONS
+        ),
+        max_series: int = DEFAULT_MAX_SERIES,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not resolutions:
+            raise ValueError("need at least one resolution")
+        self.registry = registry if registry is not None else METRICS
+        self.resolutions = tuple(
+            sorted((float(r), int(c)) for r, c in resolutions)
+        )
+        self.max_series = max_series
+        self.clock = clock
+        self.n_samples = 0
+        self.n_series_dropped = 0
+        self._series: dict[str, _Series] = {}
+        self._lock = threading.Lock()
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self, now: float | None = None) -> None:
+        """Fold one registry snapshot into the rings.
+
+        Counters and histograms contribute their movement since the
+        previous sample; the first sample of a series only records the
+        baseline (dumping a long-lived counter's lifetime total into
+        one cell would fabricate a rate spike).
+        """
+        t = self.clock() if now is None else now
+        instruments = self.registry.all_instruments()
+        with self._lock:
+            for m in instruments:
+                key = m.key
+                series = self._series.get(key)
+                if series is None:
+                    if len(self._series) >= self.max_series:
+                        self.n_series_dropped += 1
+                        continue
+                    series = _Series(m, self.resolutions)
+                    self._series[key] = series
+                if isinstance(m, Counter):
+                    self._sample_counter(series, m, t)
+                elif isinstance(m, Gauge):
+                    self._sample_gauge(series, m, t)
+                elif isinstance(m, Histogram):
+                    self._sample_histogram(series, m, t)
+            self.n_samples += 1
+
+    def _sample_counter(self, series: _Series, m: Counter,
+                        t: float) -> None:
+        cur = m.value
+        if series.prev is None:  # first sample: baseline only
+            series.prev = cur
+            return
+        delta = cur - series.prev
+        if delta < 0:  # registry reset: count from the new level
+            delta = cur
+        series.prev = cur
+        if delta == 0:
+            return
+        for ring in series.rings:
+            slot = ring.cell_for_write(t)
+            ring.values[slot] = (ring.values[slot] or 0) + delta
+
+    def _sample_gauge(self, series: _Series, m: Gauge,
+                      t: float) -> None:
+        value = m.value
+        for ring in series.rings:
+            slot = ring.cell_for_write(t)
+            ring.values[slot] = value
+
+    def _sample_histogram(self, series: _Series, m: Histogram,
+                          t: float) -> None:
+        bucket_counts, hsum, count = m.snapshot()
+        prev = series.prev
+        if prev is None:
+            series.prev = (bucket_counts, hsum, count)
+            return
+        prev_buckets, prev_sum, prev_count = prev
+        if count < prev_count:  # reset
+            dbuckets = list(bucket_counts)
+            dsum, dcount = hsum, count
+        else:
+            dbuckets = [
+                b - p for b, p in zip(bucket_counts, prev_buckets)
+            ]
+            dsum, dcount = hsum - prev_sum, count - prev_count
+        series.prev = (bucket_counts, hsum, count)
+        if dcount == 0:
+            return
+        for ring in series.rings:
+            slot = ring.cell_for_write(t)
+            cell = ring.values[slot]
+            if cell is None:
+                ring.values[slot] = [list(dbuckets), dsum, dcount]
+            else:
+                cell[0] = [a + b for a, b in zip(cell[0], dbuckets)]
+                cell[1] += dsum
+                cell[2] += dcount
+
+    # -- windowed reads --------------------------------------------------------
+
+    def _ring_for(self, series: _Series, seconds: float) -> _Ring:
+        """Finest ring whose span covers the window (else coarsest)."""
+        for ring in series.rings:
+            if ring.res * ring.cells >= seconds:
+                return ring
+        return series.rings[-1]
+
+    def _match(self, name: str,
+               labels: dict[str, Any] | None) -> list[_Series]:
+        """Series of one family, optionally filtered by labels.
+
+        ``labels=None`` merges every series of the family — the
+        fleet-level view; ``labels={...}`` selects series whose label
+        set contains every given pair."""
+        want = (
+            tuple(sorted((k, str(v)) for k, v in labels.items()))
+            if labels else ()
+        )
+        out = []
+        for series in self._series.values():
+            if series.name != name:
+                continue
+            if want and not set(want) <= set(series.labelset):
+                continue
+            # The unlabeled parent of a labeled family double-counts
+            # when merging children; skip it unless it is the only
+            # series or explicitly selected by empty labels.
+            out.append(series)
+        if labels is None and len(out) > 1:
+            out = [s for s in out if s.labelset] or out
+        return out
+
+    def window_sum(self, name: str, seconds: float, *,
+                   labels: dict[str, Any] | None = None,
+                   now: float | None = None) -> float | None:
+        """Total counter movement inside the window (None = no data)."""
+        t = self.clock() if now is None else now
+        with self._lock:
+            cells: list[float] = []
+            for series in self._match(name, labels):
+                if series.kind != "counter":
+                    continue
+                ring = self._ring_for(series, seconds)
+                cells.extend(ring.window(t, seconds))
+            if not cells:
+                return None
+            return float(sum(cells))
+
+    def rate(self, name: str, seconds: float, *,
+             labels: dict[str, Any] | None = None,
+             now: float | None = None) -> float | None:
+        """Windowed per-second rate of a counter family."""
+        total = self.window_sum(
+            name, seconds, labels=labels, now=now
+        )
+        if total is None:
+            return None
+        return total / seconds
+
+    def gauge_last(self, name: str, seconds: float, *,
+                   labels: dict[str, Any] | None = None,
+                   now: float | None = None) -> float | None:
+        """Most recent gauge value inside the window."""
+        t = self.clock() if now is None else now
+        with self._lock:
+            for series in self._match(name, labels):
+                if series.kind != "gauge":
+                    continue
+                ring = self._ring_for(series, seconds)
+                cells = ring.window(t, seconds)
+                if cells:
+                    return float(cells[-1])
+        return None
+
+    def window_hist(
+        self, name: str, seconds: float, *,
+        labels: dict[str, Any] | None = None,
+        now: float | None = None,
+    ) -> tuple[tuple[float, ...], list[int], float, int] | None:
+        """Merged ``(bounds, bucket_deltas, sum, count)`` over the
+        window, across every matching series (None = no data)."""
+        t = self.clock() if now is None else now
+        with self._lock:
+            bounds: tuple[float, ...] | None = None
+            merged: list[int] = []
+            total_sum, total_count = 0.0, 0
+            for series in self._match(name, labels):
+                if series.kind != "histogram":
+                    continue
+                if bounds is None:
+                    bounds = series.bounds
+                    merged = [0] * (len(bounds) + 1)
+                elif series.bounds != bounds:
+                    continue  # mismatched buckets cannot merge
+                ring = self._ring_for(series, seconds)
+                for cell in ring.window(t, seconds):
+                    merged = [
+                        a + b for a, b in zip(merged, cell[0])
+                    ]
+                    total_sum += cell[1]
+                    total_count += cell[2]
+            if bounds is None or total_count == 0:
+                return None
+            return bounds, merged, total_sum, total_count
+
+    def quantile(self, name: str, q: float, seconds: float, *,
+                 labels: dict[str, Any] | None = None,
+                 now: float | None = None) -> float | None:
+        """Windowed quantile of a histogram family (bucket-estimated)."""
+        hist = self.window_hist(
+            name, seconds, labels=labels, now=now
+        )
+        if hist is None:
+            return None
+        bounds, merged, _, _ = hist
+        return quantile_from_buckets(bounds, merged, q)
+
+    # -- JSON view -------------------------------------------------------------
+
+    def to_dict(self, seconds: float = 60.0, *,
+                now: float | None = None) -> dict[str, Any]:
+        """The ``/timeseries`` document: one entry per series with the
+        windowed aggregate plus per-cell points for sparklines."""
+        t = self.clock() if now is None else now
+        out: dict[str, Any] = {
+            "window_s": seconds,
+            "now": t,
+            "n_samples": self.n_samples,
+            "n_series_dropped": self.n_series_dropped,
+            "series": [],
+        }
+        with self._lock:
+            for key in sorted(self._series):
+                series = self._series[key]
+                ring = self._ring_for(series, seconds)
+                cells = ring.window_cells(t, seconds)
+                entry: dict[str, Any] = {
+                    "key": key,
+                    "name": series.name,
+                    "labels": dict(series.labelset),
+                    "kind": series.kind,
+                    "resolution_s": ring.res,
+                }
+                if series.kind == "counter":
+                    total = sum(v for _, v in cells if v is not None)
+                    entry["rate"] = total / seconds
+                    entry["points"] = [
+                        None if v is None else round(v / ring.res, 6)
+                        for _, v in cells
+                    ]
+                elif series.kind == "gauge":
+                    live = [v for _, v in cells if v is not None]
+                    entry["last"] = live[-1] if live else None
+                    entry["points"] = [v for _, v in cells]
+                else:
+                    merged = [0] * (len(series.bounds) + 1)
+                    total_sum, total_count = 0.0, 0
+                    points = []
+                    for _, cell in cells:
+                        if cell is None:
+                            points.append(None)
+                            continue
+                        merged = [
+                            a + b for a, b in zip(merged, cell[0])
+                        ]
+                        total_sum += cell[1]
+                        total_count += cell[2]
+                        p99 = quantile_from_buckets(
+                            series.bounds, cell[0], 0.99
+                        )
+                        points.append(
+                            None if p99 is None else round(p99, 6)
+                        )
+                    entry["count"] = total_count
+                    entry["mean"] = (
+                        total_sum / total_count if total_count else None
+                    )
+                    for label, q in (("p50", 0.5), ("p95", 0.95),
+                                     ("p99", 0.99)):
+                        value = quantile_from_buckets(
+                            series.bounds, merged, q
+                        )
+                        entry[label] = (
+                            None if value is None else round(value, 6)
+                        )
+                    entry["points"] = points
+                out["series"].append(entry)
+        return out
+
+
+class Sampler:
+    """Background thread snapshotting the registry on a fixed cadence.
+
+    Disabled by default — nothing starts until :meth:`start`.  The
+    thread is a daemon (a forgotten sampler never blocks exit) and
+    drives the optional SLO engine after every sample, so alerts are
+    evaluated on the same cadence the rings advance.
+    """
+
+    def __init__(self, store: TimeSeriesStore,
+                 interval_s: float = 1.0,
+                 slo_engine: Any = None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.store = store
+        self.interval_s = interval_s
+        self.slo_engine = slo_engine
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "Sampler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def tick(self) -> None:
+        """One sample + SLO evaluation (callable inline from tests)."""
+        self.store.sample()
+        engine = self.slo_engine
+        if engine is not None:
+            engine.evaluate()
+
+
+# The ambient store: installed by ``repro serve`` (and tests) so the
+# HTTP endpoints and ``repro top --self`` read rings without threading
+# the store through.  None (the default) costs one global load.
+_timeseries: TimeSeriesStore | None = None
+
+
+def set_timeseries(store: TimeSeriesStore | None) -> None:
+    global _timeseries
+    # conc: safe — GIL-atomic reference swap; a reader sees either the
+    # old store or the new one, never a torn reference
+    _timeseries = store
+
+
+def get_timeseries() -> TimeSeriesStore | None:
+    return _timeseries
+
+
+# -- /timeseries JSON schema (stdlib subset, see qlog._validate) -----------
+
+TIMESERIES_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["window_s", "now", "n_samples",
+                 "n_series_dropped", "series"],
+    "properties": {
+        "window_s": {"type": "number"},
+        "now": {"type": "number"},
+        "n_samples": {"type": "integer"},
+        "n_series_dropped": {"type": "integer"},
+        "series": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["key", "name", "labels", "kind",
+                             "resolution_s", "points"],
+                "properties": {
+                    "key": {"type": "string"},
+                    "name": {"type": "string"},
+                    "labels": {"type": "object"},
+                    "kind": {"type": "string"},
+                    "resolution_s": {"type": "number"},
+                    "rate": {"type": ["number", "null"]},
+                    "last": {"type": ["number", "null"]},
+                    "count": {"type": "integer"},
+                    "mean": {"type": ["number", "null"]},
+                    "p50": {"type": ["number", "null"]},
+                    "p95": {"type": ["number", "null"]},
+                    "p99": {"type": ["number", "null"]},
+                    "points": {"type": "array"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_timeseries_doc(doc: Any) -> list[str]:
+    """Problems (empty = valid) for one ``/timeseries`` document."""
+    from repro.obs.qlog import _validate
+
+    problems: list[str] = []
+    _validate(doc, TIMESERIES_SCHEMA, "$", problems)
+    for i, entry in enumerate(
+        doc.get("series", []) if isinstance(doc, dict) else ()
+    ):
+        kind = entry.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"$.series[{i}]: unknown kind {kind!r}")
+    return problems
+
+
+# Keep the helper import honest (bisect is used by callers that build
+# custom bucket layouts; re-exported for them).
+_ = bisect

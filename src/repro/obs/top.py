@@ -1,0 +1,292 @@
+"""``python -m repro top`` — a curses-free terminal fleet view.
+
+Repaints one frame per interval with plain ANSI (home + clear), so it
+works over ssh, in CI logs (``--once`` prints a single frame), and
+inside pipes.  Each frame shows QPS, rolling p50/p99 per backend,
+fault rate, SLO burn status, and the slowest recent fingerprints from
+the qlog ring — the same data ``/dashboard`` renders, as text.
+
+Two sources, one frame renderer:
+
+- :func:`snapshot_from_http` polls a running ``repro serve`` process
+  (``/timeseries``, ``/slo``, ``/healthz``, ``/query-log/recent``);
+- :func:`snapshot_local` reads an in-process store/engine directly —
+  used by ``--demo`` and by tests, which render frames without a
+  server or a terminal.
+
+Rendering is pure (snapshot dict → string), so tests assert on frames
+byte-for-byte.
+
+Layering: imports sibling ``obs`` modules only, never the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+from urllib.error import URLError
+from urllib.request import urlopen
+
+__all__ = [
+    "render_frame",
+    "run_top",
+    "snapshot_from_http",
+    "snapshot_local",
+    "sparkline",
+]
+
+CLEAR = "\x1b[H\x1b[2J"
+BOLD = "\x1b[1m"
+DIM = "\x1b[2m"
+RESET = "\x1b[0m"
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(points: list[float | None], width: int = 24) -> str:
+    """Unicode block sparkline; gaps render as spaces."""
+    tail = points[-width:] if len(points) > width else points
+    live = [v for v in tail if v is not None]
+    if not live:
+        return " " * min(width, len(tail))
+    hi = max(live) or 1.0
+    out = []
+    for v in tail:
+        if v is None:
+            out.append(" ")
+        else:
+            idx = min(len(BLOCKS) - 1,
+                      int(v / hi * (len(BLOCKS) - 1) + 0.5))
+            out.append(BLOCKS[idx])
+    return "".join(out)
+
+
+def _fetch_json(url: str, timeout: float = 2.0) -> dict[str, Any] | None:
+    try:
+        with urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except (URLError, OSError, ValueError):
+        return None
+
+
+def snapshot_from_http(base_url: str,
+                       window_s: float = 60.0) -> dict[str, Any]:
+    """One frame's worth of data from a served endpoint."""
+    base = base_url.rstrip("/")
+    return {
+        "source": base,
+        "window_s": window_s,
+        "timeseries": _fetch_json(
+            f"{base}/timeseries?window={window_s:g}"
+        ),
+        "slo": _fetch_json(f"{base}/slo"),
+        "healthz": _fetch_json(f"{base}/healthz"),
+        "events": (
+            (_fetch_json(f"{base}/query-log/recent") or {})
+            .get("events", [])
+        ),
+    }
+
+
+def snapshot_local(store: Any, engine: Any = None,
+                   window_s: float = 60.0) -> dict[str, Any]:
+    """One frame's worth of data from in-process objects."""
+    from repro.obs.server import get_degraded, recent_wide_events
+
+    degraded = get_degraded()
+    healthz = {"status": "degraded" if degraded else "ok"}
+    if degraded:
+        healthz["degraded"] = degraded
+    if engine is not None:
+        engine.evaluate()
+    return {
+        "source": "in-process",
+        "window_s": window_s,
+        "timeseries": store.to_dict(window_s),
+        "slo": engine.to_dict() if engine is not None else None,
+        "healthz": healthz,
+        "events": recent_wide_events(),
+    }
+
+
+def _fmt(value: float | None, digits: int = 1) -> str:
+    return "–" if value is None else f"{value:.{digits}f}"
+
+
+def _hist_stats(ts: dict[str, Any], name: str,
+                backend: str | None) -> tuple:
+    """(p50, p99, count) merged or for one backend."""
+    entries = [
+        s for s in ts.get("series", [])
+        if s["name"] == name and s["kind"] == "histogram"
+        and (backend is None or s["labels"].get("backend") == backend)
+    ]
+    if not entries:
+        return None, None, 0
+    if backend is not None or len(entries) == 1:
+        e = entries[0]
+        return e.get("p50"), e.get("p99"), e.get("count", 0)
+    # Fleet view across backends: worst p99, count-weighted p50 hint.
+    p99 = max(
+        (e["p99"] for e in entries if e.get("p99") is not None),
+        default=None,
+    )
+    total = sum(e.get("count", 0) for e in entries)
+    p50s = [e["p50"] for e in entries if e.get("p50") is not None]
+    p50 = max(p50s) if p50s else None
+    return p50, p99, total
+
+
+def _counter_sum(ts: dict[str, Any], name: str,
+                 backend: str | None = None) -> float | None:
+    rates = [
+        s.get("rate")
+        for s in ts.get("series", [])
+        if s["name"] == name and s["kind"] == "counter"
+        and s["labels"]  # children only: the parent double-counts
+        and (backend is None or s["labels"].get("backend") == backend)
+        and s.get("rate") is not None
+    ]
+    if not rates:
+        return None
+    return sum(rates)
+
+
+def render_frame(snap: dict[str, Any], *, width: int = 78,
+                 color: bool = True) -> str:
+    """One complete frame (no cursor control — caller prepends CLEAR)."""
+    bold = BOLD if color else ""
+    dim = DIM if color else ""
+    reset = RESET if color else ""
+    ts = snap.get("timeseries")
+    lines: list[str] = []
+    window = snap.get("window_s", 60.0)
+    header = (
+        f"{bold}repro top{reset} · {snap.get('source', '?')} · "
+        f"window {window:g}s"
+    )
+    lines.append(header)
+
+    healthz = snap.get("healthz")
+    if healthz is None:
+        lines.append("health    ? unreachable")
+    else:
+        status = healthz.get("status", "?")
+        mark = "✓" if status == "ok" else "✕"
+        extra = ""
+        degraded = healthz.get("degraded")
+        if degraded:
+            extra = f"  ({degraded.get('reason', '')})"
+        lines.append(f"health    {mark} {status}{extra}")
+
+    if ts is None:
+        lines.append("metrics   ✕ no /timeseries "
+                     "(is the sampler enabled?)")
+        return "\n".join(lines) + "\n"
+
+    qps = _counter_sum(ts, "query.completed")
+    fault_rate = _counter_sum(ts, "query.faulted") or 0.0
+    p50, p99, count = _hist_stats(ts, "query.latency_ms", None)
+    fault_pct = (
+        100.0 * fault_rate / qps if qps else (0.0 if count else None)
+    )
+    qps_points = None
+    for s in ts.get("series", []):
+        if s["name"] == "query.completed" and s["labels"]:
+            merged = qps_points or [None] * len(s["points"])
+            qps_points = [
+                (a or 0) + b if b is not None else a
+                for a, b in zip(merged, s["points"])
+            ]
+    lines.append(
+        f"fleet     qps {_fmt(qps, 2):>8}  p50 {_fmt(p50):>7} ms  "
+        f"p99 {_fmt(p99):>7} ms  faults {_fmt(fault_pct):>5} %"
+    )
+    if qps_points:
+        lines.append(f"          {sparkline(qps_points, 48)}")
+
+    backends = sorted({
+        s["labels"]["backend"]
+        for s in ts.get("series", [])
+        if s["name"] == "query.completed"
+        and "backend" in s["labels"]
+    })
+    if backends:
+        lines.append(f"{dim}backend        qps    p50 ms    p99 ms"
+                     f"    n{reset}")
+        for backend in backends:
+            b_qps = _counter_sum(ts, "query.completed", backend)
+            b50, b99, n = _hist_stats(
+                ts, "query.latency_ms", backend
+            )
+            lines.append(
+                f"{backend:<10} {_fmt(b_qps, 2):>7} {_fmt(b50):>9}"
+                f" {_fmt(b99):>9} {n:>4}"
+            )
+
+    slo = snap.get("slo")
+    if slo:
+        for obj in slo.get("objectives", []):
+            if obj.get("firing"):
+                mark, state = "✕", "FIRING"
+            elif obj.get("burn_short") is None:
+                mark, state = "◌", "no data"
+            else:
+                mark, state = "✓", "ok"
+            lines.append(
+                f"slo       {mark} {obj['name']:<20} {state:<8} "
+                f"burn {_fmt(obj.get('burn_short'), 1)}x/"
+                f"{_fmt(obj.get('burn_long'), 1)}x"
+            )
+
+    slow = sorted(
+        snap.get("events") or [],
+        key=lambda e: e.get("wall_ms", 0.0),
+        reverse=True,
+    )[:5]
+    if slow:
+        lines.append(f"{dim}slowest   id  wall ms  backend  "
+                     f"fingerprint  query{reset}")
+        for e in slow:
+            lines.append(
+                f"          {e.get('query_id', '?'):>3} "
+                f"{_fmt(e.get('wall_ms')):>8}  "
+                f"{str(e.get('backend', '?')):<8} "
+                f"{str(e.get('fingerprint', ''))[:10]:<12} "
+                f"{str(e.get('query') or '–')[:24]}"
+            )
+    return "\n".join(line[:width] if dim not in line else line
+                     for line in lines) + "\n"
+
+
+def run_top(
+    snapshot: Callable[[], dict[str, Any]],
+    *,
+    interval_s: float = 2.0,
+    iterations: int | None = None,
+    color: bool = True,
+    out: Any = None,
+) -> int:
+    """The repaint loop; returns an exit code.
+
+    ``iterations=None`` runs until Ctrl-C; ``iterations=1`` is the
+    ``--once`` mode (single frame, no clear, usable in pipes).
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    n = 0
+    try:
+        while True:
+            frame = render_frame(snapshot(), color=color)
+            if iterations == 1:
+                stream.write(frame)
+            else:
+                stream.write(CLEAR + frame)
+            stream.flush()
+            n += 1
+            if iterations is not None and n >= iterations:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0

@@ -189,3 +189,34 @@ class TestQueryLogCli:
         for event in events:
             assert validate_wide_event(event) == []
             assert event["seed"] == 0
+
+
+class TestServeTopCli:
+    def test_serve_help_is_generated_from_route_table(self, capsys):
+        from repro.obs.server import ROUTES, route_summary
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        # The help text is derived from ROUTES, so it can never go
+        # stale against the handler again.
+        assert route_summary() in out.replace("\n", " ")
+        for path, _ in ROUTES[:5]:
+            assert path in out.replace("\n", " ")
+
+    def test_top_demo_once_renders_a_frame(self, capsys):
+        assert main([
+            "top", "--demo", "--once", "--no-color", "--sf", "0.001",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "qps" in out
+        assert "\x1b[" not in out  # --no-color holds
+
+    def test_top_unreachable_url_still_exits_zero(self, capsys):
+        # A dead server renders an "unreachable" frame, not a crash.
+        assert main([
+            "top", "--url", "http://127.0.0.1:1", "--once",
+            "--no-color",
+        ]) == 0
+        assert "unreachable" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""Pure-render surfaces: the HTML dashboard and the terminal top view.
+
+Both renderers consume the same /timeseries + /slo + /healthz shaped
+data; these tests feed them synthetic snapshots and assert structure,
+never pixels.
+"""
+
+import io
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs.dashboard import render_dashboard, render_sparkline
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.slo import BurnWindows, RatioSLO, SloEngine
+from repro.obs.timeseries import TimeSeriesStore
+from repro.obs.top import (
+    render_frame,
+    run_top,
+    snapshot_local,
+    sparkline,
+)
+
+
+class _HtmlAudit(HTMLParser):
+    """Checks well-formedness the stdlib way: tags must nest."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link", "circle",
+            "line", "path", "rect", "polyline"}
+
+    def __init__(self):
+        super().__init__()
+        self.stack = []
+        self.tags = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.append(tag)
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"mismatched </{tag}>")
+        else:
+            self.stack.pop()
+
+
+def _populated_store():
+    registry = MetricsRegistry()
+    store = TimeSeriesStore(registry, clock=lambda: 30.0)
+    qdone = registry.counter("query.completed")
+    lat = registry.histogram(
+        "query.latency_ms", buckets=LATENCY_BUCKETS_MS
+    )
+    store.sample(now=0.5)
+    t = 0.0
+    for i in range(30):
+        qdone.labels(backend="serial").inc(2)
+        lat.labels(backend="serial").observe(5.0 + i % 7)
+        t += 1.0
+        store.sample(now=t)
+    return registry, store
+
+
+class TestDashboard:
+    def test_renders_wellformed_html_with_sparklines(self):
+        registry, store = _populated_store()
+        engine = SloEngine(
+            store,
+            [RatioSLO("errs", "query.faulted", "query.completed",
+                      objective=0.95)],
+            BurnWindows(short_s=5.0, long_s=20.0, threshold=2.0),
+        )
+        engine.evaluate(now=30.0)
+        events = [{
+            "query_id": 1, "query": "q06",
+            "fingerprint": "ab" * 8, "backend": "serial",
+            "wall_ms": 12.5,
+        }]
+        html = render_dashboard(
+            store, engine=engine, events=events, window_s=30.0
+        )
+        audit = _HtmlAudit()
+        audit.feed(html)
+        assert audit.errors == []
+        assert audit.stack == [], "unclosed tags"
+        assert audit.tags.count("svg") >= 1
+        assert "Throughput" in html
+        assert "q06" in html
+        # Cardinality policy: fingerprints appear only in the recent
+        # queries tile sourced from the qlog ring (truncated prefix).
+        assert "ab" * 6 in html
+
+    def test_empty_store_renders_no_data_not_crash(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore(registry, clock=lambda: 1.0)
+        html = render_dashboard(store)
+        audit = _HtmlAudit()
+        audit.feed(html)
+        assert audit.errors == []
+        assert "no data" in html
+
+    def test_degraded_banner_escapes_reason(self):
+        registry, store = _populated_store()
+        html = render_dashboard(
+            store,
+            degraded={"reason": 'bad <script>alert("x")</script>'},
+            window_s=30.0,
+        )
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_sparkline_gaps_break_polylines(self):
+        svg = render_sparkline([1.0, 2.0, None, 3.0, 4.0])
+        assert svg.count("<polyline") >= 2
+        assert "<svg" in svg and "</svg>" in svg
+
+    def test_sparkline_empty_is_no_data(self):
+        svg = render_sparkline([])
+        assert "no data" in svg
+
+
+class TestTop:
+    def test_block_sparkline_gaps_and_scale(self):
+        s = sparkline([0.0, 4.0, None, 8.0])
+        assert len(s) == 4
+        assert s[2] == " "
+        assert s[3] == "█"
+        assert sparkline([None, None]) == "  "
+
+    def test_render_frame_plain_text(self):
+        registry, store = _populated_store()
+        engine = SloEngine(
+            store,
+            [RatioSLO("errs", "query.faulted", "query.completed",
+                      objective=0.95)],
+            BurnWindows(short_s=5.0, long_s=20.0, threshold=2.0),
+        )
+        snap = snapshot_local(store, engine, window_s=30.0)
+        frame = render_frame(snap, color=False)
+        assert "\x1b[" not in frame  # --no-color really is plain
+        assert "serial" in frame
+        assert "errs" in frame
+        assert "qps" in frame
+
+    def test_render_frame_survives_dead_server_snapshot(self):
+        frame = render_frame(
+            {"source": "http://127.0.0.1:1", "window_s": 60.0,
+             "timeseries": None, "slo": None, "healthz": None,
+             "events": []},
+            color=False,
+        )
+        assert "unreachable" in frame
+
+    def test_run_top_once_writes_single_frame(self):
+        registry, store = _populated_store()
+        out = io.StringIO()
+        rc = run_top(
+            lambda: snapshot_local(store, window_s=30.0),
+            interval_s=0.01, iterations=1, color=False, out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "\x1b[2J" not in text  # single frame: no screen clear
+        assert text.count("repro top") == 1
+
+    def test_run_top_repaints_between_iterations(self):
+        registry, store = _populated_store()
+        out = io.StringIO()
+        run_top(
+            lambda: snapshot_local(store, window_s=30.0),
+            interval_s=0.0, iterations=3, color=True, out=out,
+        )
+        assert out.getvalue().count("\x1b[2J") == 3

@@ -1,0 +1,271 @@
+"""Labeled instrument families and their Prometheus rendering.
+
+Covers the exporter's label contract (sorted rendering, value
+escaping, parent suppression) and the validator's negative fixtures:
+each structural rejection — unsorted, duplicate, bad escape,
+unterminated value, bad label name — has a test proving it rejects.
+"""
+
+import pytest
+
+from repro.obs.export import prometheus_text, validate_prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    flat_key,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestLabelFamilies:
+    def test_labels_returns_cached_child(self, registry):
+        fam = registry.counter("q.done")
+        a = fam.labels(backend="serial")
+        b = fam.labels(backend="serial")
+        assert a is b
+        assert a is not fam
+        a.inc(3)
+        assert a.value == 3
+        assert fam.value == 0  # parent untouched
+
+    def test_label_order_is_canonical(self, registry):
+        fam = registry.counter("q.done")
+        a = fam.labels(backend="serial", tier="hot")
+        b = fam.labels(tier="hot", backend="serial")
+        assert a is b
+        assert a.labelset == (("backend", "serial"), ("tier", "hot"))
+
+    def test_values_are_stringified(self, registry):
+        fam = registry.gauge("q.depth")
+        child = fam.labels(worker=3)
+        assert child.labelset == (("worker", "3"),)
+
+    def test_child_cannot_be_relabeled(self, registry):
+        child = registry.counter("q.done").labels(backend="serial")
+        with pytest.raises(TypeError):
+            child.labels(tier="hot")
+
+    def test_empty_and_invalid_labels_rejected(self, registry):
+        fam = registry.counter("q.done")
+        with pytest.raises(ValueError):
+            fam.labels()
+        with pytest.raises(ValueError):
+            fam.labels(**{"0bad": "x"})
+        with pytest.raises(ValueError):
+            fam.labels(le="10")  # reserved for histogram buckets
+
+    def test_histogram_child_inherits_buckets(self, registry):
+        fam = registry.histogram("q.lat", buckets=(1.0, 10.0))
+        child = fam.labels(backend="thread")
+        assert isinstance(child, Histogram)
+        assert child.bounds == (1.0, 10.0)
+
+    def test_reset_cascades_to_children(self, registry):
+        fam = registry.counter("q.done")
+        child = fam.labels(backend="serial")
+        child.inc(5)
+        fam.inc(2)
+        registry.reset()
+        assert fam.value == 0
+        assert child.value == 0
+        # The child object survives reset: cached references keep
+        # recording, exactly like unlabeled instruments.
+        assert fam.labels(backend="serial") is child
+
+    def test_flat_key(self):
+        assert flat_key("q.done", ()) == "q.done"
+        assert flat_key(
+            "q.done", (("a", "1"), ("b", "2"))
+        ) == "q.done{a=1,b=2}"
+
+    def test_snapshot_and_delta_key_children(self, registry):
+        fam = registry.counter("q.done")
+        delta = registry.delta()
+        fam.labels(backend="serial").inc(2)
+        fam.inc(1)
+        snap = registry.snapshot()
+        assert snap["q.done"] == 1
+        assert snap["q.done{backend=serial}"] == 2
+        moved = delta.collect()
+        assert moved["q.done{backend=serial}"] == 2
+        assert moved["q.done"] == 1
+
+
+class TestLabeledRendering:
+    def test_children_render_as_family_samples(self, registry):
+        fam = registry.counter("q.done", "queries finished")
+        fam.labels(backend="serial").inc(2)
+        fam.labels(backend="thread").inc(5)
+        text = prometheus_text(registry)
+        assert validate_prometheus_text(text) == []
+        assert text.count("# TYPE repro_q_done_total counter") == 1
+        assert 'repro_q_done_total{backend="serial"} 2' in text
+        assert 'repro_q_done_total{backend="thread"} 5' in text
+        # Untouched parent of a labeled family: no spurious 0 sample.
+        assert "repro_q_done_total 0" not in text
+
+    def test_touched_parent_still_renders(self, registry):
+        fam = registry.counter("q.done")
+        fam.inc(1)
+        fam.labels(backend="serial").inc(2)
+        text = prometheus_text(registry)
+        assert "repro_q_done_total 1" in text
+        assert validate_prometheus_text(text) == []
+
+    def test_multi_label_sorted_rendering(self, registry):
+        fam = registry.gauge("q.depth")
+        fam.labels(zone="b", backend="serial").set(4)
+        text = prometheus_text(registry)
+        assert (
+            'repro_q_depth{backend="serial",zone="b"} 4' in text
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_value_escaping_round_trip(self, registry):
+        fam = registry.counter("q.done")
+        fam.labels(q='with "quotes" \\ and\nnewline').inc()
+        text = prometheus_text(registry)
+        assert (
+            '{q="with \\"quotes\\" \\\\ and\\nnewline"}' in text
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_labeled_histogram_renders_per_series_buckets(
+        self, registry
+    ):
+        fam = registry.histogram("q.lat", buckets=(1.0, 10.0))
+        fam.labels(backend="serial").observe(0.5)
+        fam.labels(backend="thread").observe(5.0)
+        text = prometheus_text(registry)
+        assert validate_prometheus_text(text) == []
+        assert (
+            'repro_q_lat_bucket{backend="serial",le="1"} 1' in text
+        )
+        assert (
+            'repro_q_lat_bucket{backend="thread",le="1"} 0' in text
+        )
+        assert 'repro_q_lat_count{backend="serial"} 1' in text
+
+
+class TestValidatorNegativeFixtures:
+    def _one_problem(self, text):
+        problems = validate_prometheus_text(text)
+        assert problems, "expected a rejection"
+        return problems[0]
+
+    def test_accepts_multi_label_escaped_values(self):
+        text = (
+            "# TYPE m counter\n"
+            'm_total{a="x\\\\y",b="q\\"z",c="l\\nr"} 3\n'
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_rejects_unsorted_label_set(self):
+        text = '# TYPE m counter\nm_total{b="1",a="2"} 3\n'
+        assert "unsorted label set" in self._one_problem(text)
+
+    def test_rejects_duplicate_label_name(self):
+        text = '# TYPE m counter\nm_total{a="1",a="2"} 3\n'
+        assert "duplicate label name" in self._one_problem(text)
+
+    def test_rejects_invalid_escape(self):
+        text = '# TYPE m counter\nm_total{a="x\\ty"} 3\n'
+        assert "invalid escape" in self._one_problem(text)
+
+    def test_rejects_dangling_escape(self):
+        text = '# TYPE m counter\nm_total{a="x\\"} 3\n'
+        # The dangling backslash eats the closing quote: the value
+        # never terminates.
+        assert "unterminated" in self._one_problem(text)
+
+    def test_rejects_unterminated_value(self):
+        text = '# TYPE m counter\nm_total{a="x} 3\n'
+        assert "unterminated" in self._one_problem(text)
+
+    def test_rejects_unquoted_value(self):
+        text = "# TYPE m counter\nm_total{a=1} 3\n"
+        assert "must be quoted" in self._one_problem(text)
+
+    def test_rejects_bad_label_name(self):
+        text = '# TYPE m counter\nm_total{0a="1"} 3\n'
+        assert "bad label name" in self._one_problem(text)
+
+    def test_rejects_trailing_comma(self):
+        text = '# TYPE m counter\nm_total{a="1",} 3\n'
+        assert "trailing comma" in self._one_problem(text)
+
+    def test_rejects_unterminated_label_block(self):
+        text = '# TYPE m counter\nm_total{a="1" 3\n'
+        assert "unterminated label set" in self._one_problem(text)
+
+    def test_rejects_per_series_non_monotonic_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{b="x",le="1"} 5\n'
+            'h_bucket{b="x",le="2"} 3\n'
+            'h_bucket{b="x",le="+Inf"} 5\n'
+            'h_count{b="x"} 5\n'
+        )
+        assert any(
+            "non-monotonic" in p
+            for p in validate_prometheus_text(text)
+        )
+
+    def test_interleaved_series_validate_independently(self):
+        # Series y's low bucket count is smaller than series x's —
+        # legal: monotonicity is per (family, label set).
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{b="x",le="1"} 5\n'
+            'h_bucket{b="y",le="1"} 1\n'
+            'h_bucket{b="x",le="+Inf"} 6\n'
+            'h_bucket{b="y",le="+Inf"} 2\n'
+            'h_count{b="x"} 6\n'
+            'h_count{b="y"} 2\n'
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_rejects_bucket_without_le(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{b="x"} 5\n'
+        )
+        assert any(
+            "without 'le'" in p
+            for p in validate_prometheus_text(text)
+        )
+
+    def test_rejects_inf_count_mismatch_per_series(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{b="x",le="+Inf"} 5\n'
+            'h_count{b="x"} 7\n'
+        )
+        assert any(
+            "!= _count" in p for p in validate_prometheus_text(text)
+        )
+
+
+class TestInstrumentCompat:
+    """The unlabeled surface is untouched by the label layer."""
+
+    def test_bare_counter_unchanged(self):
+        c = Counter("x")
+        c.inc()
+        assert c.value == 1
+        assert c.key == "x"
+        assert c.labelset == ()
+
+    def test_full_registry_text_still_validates(self, registry):
+        registry.counter("a", "help a").inc()
+        registry.gauge("b").set(2.5)
+        registry.histogram("c", buckets=(1.0,)).observe(0.5)
+        registry.counter("d").labels(k="v").inc()
+        assert validate_prometheus_text(
+            prometheus_text(registry)
+        ) == []

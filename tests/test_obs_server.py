@@ -11,10 +11,20 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.server import (
     PROM_CONTENT_TYPE,
     ObsServer,
+    clear_degraded,
     clear_wide_events,
     record_wide_event,
     set_last_trace,
 )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_health():
+    # Chaos tests elsewhere flip the process-wide degraded flag; the
+    # health assertions here must not depend on test order.
+    clear_degraded()
+    yield
+    clear_degraded()
 
 
 @pytest.fixture()
@@ -114,3 +124,122 @@ class TestQueryLogEndpoints:
     def test_query_non_numeric_id_is_404(self, server):
         status, _, _ = _get(server.url + "/query/abc")
         assert status == 404
+
+
+class TestTimeSeriesEndpoints:
+    """/timeseries, /slo and /dashboard with and without ambient
+    stores installed."""
+
+    @pytest.fixture()
+    def wired(self, registry, server):
+        from repro.obs.slo import (
+            BurnWindows,
+            RatioSLO,
+            SloEngine,
+            set_slo_engine,
+        )
+        from repro.obs.timeseries import TimeSeriesStore, set_timeseries
+
+        # Pinned clock: server-side to_dict() reads "now" from the
+        # store's clock, which must line up with the synthetic cells.
+        store = TimeSeriesStore(registry, clock=lambda: 2.0)
+        store.sample(now=1.0)
+        registry.counter("test.requests").inc(4)
+        store.sample(now=2.0)
+        engine = SloEngine(
+            store,
+            [RatioSLO("errs", "test.bad", "test.requests",
+                      objective=0.95)],
+            BurnWindows(short_s=5.0, long_s=20.0, threshold=2.0),
+        )
+        set_timeseries(store)
+        set_slo_engine(engine)
+        yield store, engine
+        set_timeseries(None)
+        set_slo_engine(None)
+
+    def test_timeseries_503_without_store(self, server):
+        status, _, body = _get(server.url + "/timeseries")
+        assert status == 503
+        assert b"sampler" in body
+
+    def test_slo_503_without_engine(self, server):
+        status, _, _ = _get(server.url + "/slo")
+        assert status == 503
+
+    def test_dashboard_503_without_store(self, server):
+        status, _, _ = _get(server.url + "/dashboard")
+        assert status == 503
+
+    def test_timeseries_document_validates(self, server, wired):
+        from repro.obs.timeseries import validate_timeseries_doc
+
+        status, headers, body = _get(
+            server.url + "/timeseries?window=10"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        doc = json.loads(body)
+        assert validate_timeseries_doc(doc) == []
+        assert doc["window_s"] == 10.0
+        by_key = {s["key"]: s for s in doc["series"]}
+        assert by_key["test.requests"]["rate"] == pytest.approx(0.4)
+
+    def test_timeseries_bad_window_is_400(self, server, wired):
+        for bad in ("0", "-5", "fish"):
+            status, _, _ = _get(
+                server.url + "/timeseries?window=" + bad
+            )
+            assert status == 400, bad
+
+    def test_slo_document_validates(self, server, wired):
+        from repro.obs.slo import validate_slo_doc
+
+        status, _, body = _get(server.url + "/slo")
+        assert status == 200
+        doc = json.loads(body)
+        assert validate_slo_doc(doc) == []
+        assert [o["name"] for o in doc["objectives"]] == ["errs"]
+        # Hitting /slo evaluated the engine server-side.
+        assert doc["n_evaluations"] >= 1
+
+    def test_dashboard_is_parseable_html(self, server, wired):
+        from html.parser import HTMLParser
+
+        status, headers, body = _get(server.url + "/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        html_text = body.decode()
+
+        class Audit(HTMLParser):
+            svg = 0
+            def handle_starttag(self, tag, attrs):
+                if tag == "svg":
+                    Audit.svg += 1
+
+        Audit().feed(html_text)
+        assert Audit.svg >= 1
+        assert "Throughput" in html_text
+
+
+class TestRouteTable:
+    def test_every_declared_route_is_handled(self, server):
+        """ROUTES is the authoritative table: each path must resolve
+        to a real handler — anything hitting the unknown-path 404
+        means the banner/help advertises a dead endpoint."""
+        from repro.obs.server import ROUTES
+
+        for path, _desc in ROUTES:
+            probe = path.replace("<id>", "12345")
+            status, _, body = _get(server.url + probe)
+            if status == 404:
+                # Allowed only for data-dependent 404s, never the
+                # unknown-path fallthrough.
+                assert b"unknown path" not in body, path
+
+    def test_route_summary_names_every_path(self):
+        from repro.obs.server import ROUTES, route_summary
+
+        summary = route_summary()
+        for path, _desc in ROUTES:
+            assert path in summary

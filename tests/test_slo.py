@@ -1,0 +1,315 @@
+"""SLO burn rates: math, multi-window gating, degraded interplay,
+wide-event instants, and the chaos-machinery integration."""
+
+import pytest
+
+from repro import tpch
+from repro.core import AquomanSimulator, DeviceConfig
+from repro.faults.injector import FaultInjector, set_fault_injector
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.obs.context import QueryContext, set_query_context
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.qlog import QueryLog, set_query_log
+from repro.obs.server import (
+    clear_degraded,
+    get_degraded,
+    set_degraded,
+)
+from repro.obs.slo import (
+    BurnWindows,
+    LatencySLO,
+    RatioSLO,
+    SloEngine,
+    default_objectives,
+    get_slo_engine,
+    set_slo_engine,
+    validate_slo_doc,
+)
+from repro.obs.spans import Tracer, set_global_tracer
+from repro.obs.timeseries import TimeSeriesStore
+
+WINDOWS = BurnWindows(short_s=5.0, long_s=20.0, threshold=2.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    clear_degraded()
+    yield
+    clear_degraded()
+    set_slo_engine(None)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def store(registry):
+    return TimeSeriesStore(
+        registry, resolutions=((1.0, 600), (10.0, 600))
+    )
+
+
+def _feed(registry, store, *, seconds, bad_per_s, good_per_s,
+          t0=0.0):
+    """bad/total traffic at 1 Hz sampling; returns the end time."""
+    bad = registry.counter("q.bad")
+    total = registry.counter("q.total")
+    t = t0
+    for _ in range(int(seconds)):
+        bad.inc(bad_per_s)
+        total.inc(bad_per_s + good_per_s)
+        t += 1.0
+        store.sample(now=t)
+    return t
+
+
+class TestBurnMath:
+    def test_ratio_burn_is_fraction_over_budget(self, registry, store):
+        slo = RatioSLO("errs", "q.bad", "q.total", objective=0.95)
+        engine = SloEngine(store, [slo], WINDOWS)
+        store.sample(now=0.0)  # baselines
+        t = _feed(registry, store, seconds=25, bad_per_s=1,
+                  good_per_s=1)
+        status = engine.evaluate(now=t)[0]
+        # 50 % bad / 5 % budget = 10× on both windows.
+        assert status.burn_short == pytest.approx(10.0)
+        assert status.burn_long == pytest.approx(10.0)
+        assert status.firing
+
+    def test_latency_burn_counts_buckets_above_threshold(
+        self, registry, store
+    ):
+        h = registry.histogram(
+            "q.lat", buckets=LATENCY_BUCKETS_MS
+        )
+        store.sample(now=0.0)
+        t = 0.0
+        for _ in range(25):
+            for _ in range(9):
+                h.observe(50.0)   # good
+            h.observe(500.0)      # bad: above 250 ms
+            t += 1.0
+            store.sample(now=t)
+        slo = LatencySLO("p99", "q.lat", threshold_ms=250.0,
+                         objective=0.99)
+        engine = SloEngine(store, [slo], WINDOWS)
+        status = engine.evaluate(now=t)[0]
+        # 10 % above threshold / 1 % budget = 10×.
+        assert status.burn_short == pytest.approx(10.0)
+        assert status.firing
+
+    def test_no_data_is_not_firing(self, registry, store):
+        slo = RatioSLO("errs", "q.bad", "q.total", objective=0.95)
+        engine = SloEngine(store, [slo], WINDOWS)
+        status = engine.evaluate(now=100.0)[0]
+        assert status.burn_short is None
+        assert not status.firing
+
+    def test_short_spike_alone_does_not_fire(self, registry, store):
+        """The long window filters blips: 19 s clean, 1 s of errors."""
+        slo = RatioSLO("errs", "q.bad", "q.total", objective=0.95)
+        engine = SloEngine(store, [slo], WINDOWS)
+        store.sample(now=0.0)
+        t = _feed(registry, store, seconds=19, bad_per_s=0,
+                  good_per_s=10)
+        t = _feed(registry, store, seconds=1, bad_per_s=4,
+                  good_per_s=6, t0=t)
+        status = engine.evaluate(now=t)[0]
+        assert status.burn_long < WINDOWS.threshold
+        assert not status.firing
+
+
+class TestDegradedInterplay:
+    def test_fire_flips_healthz_and_drain_clears(
+        self, registry, store
+    ):
+        slo = RatioSLO("errs", "q.bad", "q.total", objective=0.95)
+        engine = SloEngine(store, [slo], WINDOWS)
+        store.sample(now=0.0)
+        t = _feed(registry, store, seconds=25, bad_per_s=1,
+                  good_per_s=0)
+        engine.evaluate(now=t)
+        degraded = get_degraded()
+        assert degraded is not None
+        assert degraded["reason"] == "slo:errs"
+        assert degraded["slo_firing"] == ["errs"]
+        # Drain: evaluate far past the long window — no events inside
+        # either window, the alert clears, and so does /healthz.
+        engine.evaluate(now=t + 1000.0)
+        assert engine.firing == []
+        assert get_degraded() is None
+
+    def test_never_clobbers_foreign_degradation(
+        self, registry, store
+    ):
+        set_degraded("retry budget exhausted", query="q06")
+        slo = RatioSLO("errs", "q.bad", "q.total", objective=0.95)
+        engine = SloEngine(store, [slo], WINDOWS)
+        store.sample(now=0.0)
+        t = _feed(registry, store, seconds=25, bad_per_s=1,
+                  good_per_s=0)
+        engine.evaluate(now=t)
+        assert "errs" in engine.firing
+        assert get_degraded()["reason"] == "retry budget exhausted"
+        engine.evaluate(now=t + 1000.0)
+        # The fault layer's flag survives the SLO clearing too.
+        assert get_degraded()["reason"] == "retry budget exhausted"
+
+    def test_transition_stamps_instants_with_active_qid(
+        self, registry, store
+    ):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        ctx = QueryContext(query_id=42, query="q06",
+                           fingerprint="f" * 16, backend="serial")
+        set_query_context(ctx)
+        try:
+            slo = RatioSLO("errs", "q.bad", "q.total",
+                           objective=0.95)
+            engine = SloEngine(store, [slo], WINDOWS)
+            store.sample(now=0.0)
+            t = _feed(registry, store, seconds=25, bad_per_s=1,
+                      good_per_s=0)
+            engine.evaluate(now=t)
+            engine.evaluate(now=t + 1000.0)
+        finally:
+            set_query_context(None)
+            set_global_tracer(None)
+        names = [rec[0] for _th, rec in tracer.records()]
+        assert "slo.alert" in names
+        assert "slo.clear" in names
+        stamped = [
+            rec for _th, rec in tracer.records()
+            if rec[0] in ("slo.alert", "slo.clear")
+        ]
+        assert all(
+            (rec[6] or {}).get("qid") == 42 for rec in stamped
+        )
+        alert = next(
+            rec for _th, rec in tracer.records()
+            if rec[0] == "slo.alert"
+        )
+        assert alert[6]["slo"] == "errs"
+        assert alert[6]["burn_short"] == pytest.approx(20.0)
+
+    def test_fire_and_clear_side_effects_happen_once(
+        self, registry, store
+    ):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        try:
+            slo = RatioSLO("errs", "q.bad", "q.total",
+                           objective=0.95)
+            engine = SloEngine(store, [slo], WINDOWS)
+            store.sample(now=0.0)
+            t = _feed(registry, store, seconds=25, bad_per_s=1,
+                      good_per_s=0)
+            engine.evaluate(now=t)
+            engine.evaluate(now=t)  # still firing: no second instant
+            engine.evaluate(now=t)
+        finally:
+            set_global_tracer(None)
+        alerts = [
+            rec for _th, rec in tracer.records()
+            if rec[0] == "slo.alert"
+        ]
+        assert len(alerts) == 1
+
+
+class TestChaosIntegration:
+    """Injected faults → qlog fleet counters → burn-rate alert."""
+
+    def test_fault_burst_fires_and_clears(self, tiny_db):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore(
+            registry, resolutions=((1.0, 600), (10.0, 600))
+        )
+        qlog = QueryLog(None, registry=registry)
+        set_query_log(qlog)
+        injector = FaultInjector(FaultPlan(
+            seed=7, config=FaultConfig(device_fault_rate=1.0)
+        ))
+        set_fault_injector(injector)
+        try:
+            sim = AquomanSimulator(tiny_db, DeviceConfig())
+            t = 0.0
+            for _ in range(5):
+                sim.run(tpch.query(6), query="q06")
+                t += 1.0
+                store.sample(now=t)
+        finally:
+            set_fault_injector(None)
+            set_query_log(None)
+        snap = registry.snapshot()
+        completed = [
+            k for k in snap if k.startswith("query.completed{")
+        ]
+        assert completed, snap.keys()
+        faulted = [
+            k for k in snap if k.startswith("query.faulted{")
+        ]
+        assert faulted, "device_fault_rate=1.0 injected no faults"
+        # The fault layer flipped /healthz itself on the fallback
+        # path; resolve that flag so the burn-rate alert (the slower,
+        # windowed view of the same burst) can be observed flipping it.
+        assert get_degraded() is not None
+        clear_degraded()
+
+        slo = RatioSLO(
+            "fault_rate", "query.faulted", "query.completed",
+            objective=0.95,
+        )
+        engine_slo = SloEngine(store, [slo], WINDOWS)
+        status = engine_slo.evaluate(now=t)[0]
+        assert status.firing  # every query faulted: burn 20×
+        assert get_degraded()["reason"] == "slo:fault_rate"
+        engine_slo.evaluate(now=t + 1000.0)
+        assert get_degraded() is None
+
+
+class TestEngineSurface:
+    def test_default_objectives_cover_the_three_slos(self):
+        objs = default_objectives()
+        assert [o.name for o in objs] == [
+            "latency_p99", "fault_rate", "suspend_mispredict"
+        ]
+
+    def test_to_dict_validates(self, registry, store):
+        engine = SloEngine(
+            store, default_objectives(), WINDOWS
+        )
+        engine.evaluate(now=1.0)
+        doc = engine.to_dict()
+        assert validate_slo_doc(doc) == []
+        assert doc["windows"]["threshold"] == 2.0
+
+    def test_validator_rejects_undeclared_firing_name(self):
+        doc = {
+            "windows": {"short_s": 1.0, "long_s": 2.0,
+                        "threshold": 1.0},
+            "n_evaluations": 1,
+            "firing": ["ghost"],
+            "objectives": [],
+        }
+        assert any("ghost" in p for p in validate_slo_doc(doc))
+
+    def test_ambient_install(self, registry, store):
+        engine = SloEngine(store, [], WINDOWS)
+        assert get_slo_engine() is None
+        set_slo_engine(engine)
+        try:
+            assert get_slo_engine() is engine
+        finally:
+            set_slo_engine(None)
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            BurnWindows(short_s=10.0, long_s=5.0)
+
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            RatioSLO("x", "a", "b", objective=1.0)
+        with pytest.raises(ValueError):
+            LatencySLO("x", "h", threshold_ms=10.0, objective=0.0)

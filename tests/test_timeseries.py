@@ -1,0 +1,362 @@
+"""Rollup rings: sampling, downsampling exactness, windowed quantiles.
+
+The acceptance bar for the quantile path: a windowed p99 estimated
+from merged bucket-deltas must land within one bucket width of a
+direct quantile over the same raw observations.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.timeseries import (
+    Sampler,
+    TimeSeriesStore,
+    get_timeseries,
+    quantile_from_buckets,
+    set_timeseries,
+    validate_timeseries_doc,
+)
+
+RES = ((1.0, 120), (10.0, 90), (60.0, 120))
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def store(registry):
+    return TimeSeriesStore(registry, resolutions=RES)
+
+
+class TestCounterRollups:
+    def test_rate_over_window(self, registry, store):
+        c = registry.counter("q.done")
+        t = 0.0
+        for _ in range(30):
+            c.inc(2)
+            t += 1.0
+            store.sample(now=t)
+        assert store.rate("q.done", 10.0, now=t) == pytest.approx(2.0)
+        assert store.window_sum("q.done", 10.0, now=t) == 20.0
+
+    def test_first_sample_records_baseline_only(self, registry, store):
+        c = registry.counter("q.done")
+        c.inc(1000)  # lifetime total before sampling started
+        store.sample(now=1.0)
+        c.inc(5)
+        store.sample(now=2.0)
+        # The 1000 pre-existing counts never become a rate spike.
+        assert store.window_sum("q.done", 10.0, now=2.0) == 5.0
+
+    def test_counter_reset_absorbed_as_restart(self, registry, store):
+        c = registry.counter("q.done")
+        store.sample(now=1.0)
+        c.inc(10)
+        store.sample(now=2.0)
+        registry.reset()
+        c.inc(3)
+        store.sample(now=3.0)
+        # Post-reset level counts from zero: 10 + 3, never negative.
+        assert store.window_sum("q.done", 10.0, now=3.0) == 13.0
+
+    def test_downsampling_exactness(self, registry, store):
+        """Sum of 1 s cells spanning a 10 s cell equals the 10 s cell."""
+        c = registry.counter("q.done")
+        t = 0.0
+        for i in range(40):
+            c.inc(i % 7)
+            t += 1.0
+            store.sample(now=t)
+        series = store._series["q.done"]
+        ring_1s, ring_10s = series.rings[0], series.rings[1]
+        checked = 0
+        for idx_10 in range(4):
+            want = ring_10s.values[ring_10s._slot(idx_10)]
+            if ring_10s.ids[ring_10s._slot(idx_10)] != idx_10:
+                continue
+            got = 0
+            for idx_1 in range(idx_10 * 10, idx_10 * 10 + 10):
+                slot = ring_1s._slot(idx_1)
+                if ring_1s.ids[slot] == idx_1 \
+                        and ring_1s.values[slot] is not None:
+                    got += ring_1s.values[slot]
+            assert got == want
+            checked += 1
+        assert checked >= 3
+
+    def test_window_larger_than_fine_ring_uses_coarser(
+        self, registry, store
+    ):
+        c = registry.counter("q.done")
+        store.sample(now=0.5)  # baseline before any movement
+        t = 0.0
+        for _ in range(200):
+            c.inc()
+            t += 1.0
+            store.sample(now=t)
+        # 200 s exceeds the 1 s ring's 120-cell span; the 10 s ring
+        # still covers it, so no counts are lost to ring wrap (210 s
+        # window: cell granularity of the coarse ring).
+        assert store.window_sum("q.done", 210.0, now=t) == 200.0
+
+
+class TestGaugeRollups:
+    def test_last_value_wins(self, registry, store):
+        g = registry.gauge("q.depth")
+        g.set(3)
+        store.sample(now=1.0)
+        g.set(9)
+        store.sample(now=2.0)
+        assert store.gauge_last("q.depth", 10.0, now=2.0) == 9.0
+
+    def test_empty_window_is_none(self, registry, store):
+        registry.gauge("q.depth").set(5)
+        store.sample(now=1.0)
+        assert store.gauge_last("q.depth", 5.0, now=500.0) is None
+
+
+class TestHistogramRollups:
+    def test_windowed_quantile_within_one_bucket_width(
+        self, registry, store
+    ):
+        h = registry.histogram(
+            "q.lat", buckets=LATENCY_BUCKETS_MS
+        )
+        observed = []
+        t = 0.0
+        value_cycle = [3.0, 7.0, 30.0, 80.0, 420.0]
+        for i in range(50):
+            v = value_cycle[i % len(value_cycle)]
+            h.observe(v)
+            observed.append(v)
+            t += 1.0
+            store.sample(now=t)
+        for q in (0.5, 0.95, 0.99):
+            est = store.quantile("q.lat", q, 60.0, now=t)
+            observed.sort()
+            direct = observed[
+                min(len(observed) - 1, int(q * len(observed)))
+            ]
+            # One bucket width: the bucket containing `direct`.
+            import bisect
+            idx = bisect.bisect_left(LATENCY_BUCKETS_MS, direct)
+            lo = LATENCY_BUCKETS_MS[idx - 1] if idx else 0.0
+            hi = LATENCY_BUCKETS_MS[idx]
+            assert lo <= est <= hi, (q, est, direct)
+
+    def test_empty_window_returns_none(self, registry, store):
+        registry.histogram("q.lat")
+        store.sample(now=1.0)
+        assert store.quantile("q.lat", 0.99, 10.0, now=1.0) is None
+        assert store.window_hist("q.lat", 10.0, now=1.0) is None
+
+    def test_single_bucket_all_mass(self, registry, store):
+        h = registry.histogram("q.lat", buckets=(100.0,))
+        store.sample(now=1.0)
+        for _ in range(10):
+            h.observe(40.0)
+        store.sample(now=2.0)
+        est = store.quantile("q.lat", 0.5, 10.0, now=2.0)
+        assert 0.0 <= est <= 100.0
+
+    def test_inf_bucket_clamps_to_highest_bound(self, registry, store):
+        h = registry.histogram("q.lat", buckets=(10.0, 100.0))
+        store.sample(now=1.0)
+        for _ in range(5):
+            h.observe(5000.0)  # all in +Inf
+        store.sample(now=2.0)
+        assert store.quantile("q.lat", 0.99, 10.0, now=2.0) == 100.0
+
+    def test_bucket_delta_monotone_under_concurrent_observe(
+        self, registry, store
+    ):
+        """Cell deltas stay non-negative while 4 threads observe."""
+        h = registry.histogram("q.lat", buckets=LATENCY_BUCKETS_MS)
+        store.sample(now=0.5)  # baseline: zero observations
+        stop = threading.Event()
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                h.observe(float(1 + (i % 400)))
+                i += 1
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(4)
+        ]
+        for th in threads:
+            th.start()
+        try:
+            t = 0.0
+            for _ in range(50):
+                t += 1.0
+                store.sample(now=t)
+        finally:
+            stop.set()
+            for th in threads:
+                th.join()
+        series = store._series["q.lat"]
+        ring = series.rings[0]
+        total_from_cells = 0
+        for slot in range(ring.cells):
+            cell = ring.values[slot]
+            if cell is None:
+                continue
+            buckets, hsum, count = cell
+            assert all(b >= 0 for b in buckets)
+            assert count == sum(buckets)
+            assert hsum >= 0
+            total_from_cells += count
+        # Every sampled delta is conserved: cells sum to the last
+        # prev-count the sampler recorded.
+        assert total_from_cells == store._series["q.lat"].prev[2]
+
+    def test_merges_across_labeled_children(self, registry, store):
+        fam = registry.histogram("q.lat", buckets=(10.0, 100.0))
+        a = fam.labels(backend="serial")
+        b = fam.labels(backend="thread")
+        store.sample(now=1.0)
+        for _ in range(4):
+            a.observe(5.0)
+        for _ in range(4):
+            b.observe(50.0)
+        store.sample(now=2.0)
+        hist = store.window_hist("q.lat", 10.0, now=2.0)
+        assert hist is not None
+        _, merged, _, count = hist
+        assert count == 8
+        only_a = store.window_hist(
+            "q.lat", 10.0, labels={"backend": "serial"}, now=2.0
+        )
+        assert only_a[3] == 4
+
+
+class TestStoreBounds:
+    def test_max_series_cap_drops_not_grows(self, registry):
+        store = TimeSeriesStore(
+            registry, resolutions=((1.0, 10),), max_series=3
+        )
+        for i in range(6):
+            registry.counter(f"c{i}").inc()
+        store.sample(now=1.0)
+        assert len(store._series) == 3
+        assert store.n_series_dropped == 3
+
+    def test_needs_a_resolution(self, registry):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(registry, resolutions=())
+
+
+class TestSampler:
+    def test_start_stop_and_samples_flow(self, registry, store):
+        registry.counter("q.done").inc(5)
+        sampler = Sampler(store, interval_s=0.01)
+        sampler.start()
+        try:
+            deadline = 100
+            import time
+            while store.n_samples < 3 and deadline:
+                time.sleep(0.01)
+                deadline -= 1
+        finally:
+            sampler.stop()
+        assert store.n_samples >= 3
+        assert not sampler.running
+        n = store.n_samples
+        import time
+        time.sleep(0.05)
+        assert store.n_samples == n  # really stopped
+
+    def test_rejects_nonpositive_interval(self, store):
+        with pytest.raises(ValueError):
+            Sampler(store, interval_s=0.0)
+
+    def test_ambient_install(self, store):
+        assert get_timeseries() is None
+        set_timeseries(store)
+        try:
+            assert get_timeseries() is store
+        finally:
+            set_timeseries(None)
+
+
+class TestToDict:
+    def test_document_validates(self, registry, store):
+        registry.counter("q.done").labels(backend="serial").inc()
+        registry.gauge("q.depth").set(2)
+        h = registry.histogram("q.lat", buckets=(10.0, 100.0))
+        store.sample(now=1.0)
+        registry.counter("q.done").labels(backend="serial").inc(3)
+        h.observe(7.0)
+        store.sample(now=2.0)
+        doc = store.to_dict(10.0, now=2.0)
+        assert validate_timeseries_doc(doc) == []
+        by_key = {s["key"]: s for s in doc["series"]}
+        child = by_key["q.done{backend=serial}"]
+        assert child["labels"] == {"backend": "serial"}
+        assert child["rate"] == pytest.approx(3 / 10.0)
+
+    def test_validator_rejects_bad_kind(self):
+        doc = {
+            "window_s": 1.0, "now": 0.0, "n_samples": 0,
+            "n_series_dropped": 0,
+            "series": [{
+                "key": "x", "name": "x", "labels": {},
+                "kind": "exotic", "resolution_s": 1.0, "points": [],
+            }],
+        }
+        assert any(
+            "unknown kind" in p for p in validate_timeseries_doc(doc)
+        )
+
+
+class TestQuantileFromBuckets:
+    def test_interpolates_inside_bucket(self):
+        # 10 observations uniform in (0, 10]: median ≈ 5.
+        assert quantile_from_buckets(
+            (10.0, 100.0), [10, 0, 0], 0.5
+        ) == pytest.approx(5.0)
+
+    def test_empty_is_none(self):
+        assert quantile_from_buckets((10.0,), [0, 0], 0.99) is None
+
+
+class TestBitIdentityWithSampling:
+    """A live sampler must not change a single output bit.
+
+    The acceptance gate for the signal plane: all 22 queries, run
+    while the sampler thread snapshots the registry at high frequency
+    and the query log records fleet metrics, produce bit-identical
+    relations to unobserved runs.
+    """
+
+    def test_all_queries_with_sampler_enabled(self, tiny_db):
+        from test_procpool import assert_identical
+
+        from repro import tpch
+        from repro.engine import Engine
+        from repro.obs.metrics import METRICS
+        from repro.obs.qlog import QueryLog, set_query_log
+
+        reference = {
+            n: Engine(tiny_db).execute_relation(tpch.query(n))
+            for n in tpch.ALL_QUERIES
+        }
+        store = TimeSeriesStore(METRICS)
+        sampler = Sampler(store, interval_s=0.005)
+        set_query_log(QueryLog(None))
+        set_timeseries(store)
+        sampler.start()
+        try:
+            for n in sorted(tpch.ALL_QUERIES):
+                out = Engine(tiny_db).execute_relation(tpch.query(n))
+                assert_identical(out, reference[n])
+        finally:
+            sampler.stop()
+            set_timeseries(None)
+            set_query_log(None)
+        assert store.n_samples > 0
